@@ -1,0 +1,40 @@
+"""Shared sizing for the pytest-benchmark harness.
+
+Every benchmark regenerates one paper table/figure at a reduced (but
+structurally identical) workload size, prints the same rows the paper
+reports, and asserts the reproduced *shape*.  Absolute magnitudes at
+these sizes differ from the full EXPERIMENTS.md runs (shorter traces
+leave structures colder); shape assertions are therefore deliberately
+loose here and tight in tests/.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+#: Reduced sizing: every benchmark finishes in seconds, not minutes.
+BENCH = ExperimentSettings(
+    n_branches=14_000,
+    warmup=5_000,
+    benchmarks=("gzip", "gcc", "mcf", "twolf"),
+)
+
+#: Single-benchmark sizing for the heaviest sweeps.
+BENCH_ONE = ExperimentSettings(
+    n_branches=14_000, warmup=5_000, benchmarks=("gzip",)
+)
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def bench_one():
+    return BENCH_ONE
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+"""Micro-benchmarks: throughput of the core structures.
+
+Not a paper table -- these track the simulator's own performance so
+regressions in the hot paths (predictor lookups, perceptron dot
+products, the timing model) are visible.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.core.estimator import AlwaysHighEstimator
+from repro.core.frontend import FrontEnd
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.pipeline.config import BASELINE_40X4
+from repro.pipeline.simulator import PipelineSimulator
+from repro.predictors.hybrid import make_baseline_hybrid
+from repro.trace.benchmarks import generate_benchmark_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_benchmark_trace("gzip", n_branches=8_000, seed=5)
+
+
+def test_trace_generation_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: generate_benchmark_trace("gcc", n_branches=8_000, seed=9),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result) == 8_000
+
+
+def test_hybrid_predictor_throughput(benchmark, trace):
+    def run():
+        predictor = make_baseline_hybrid()
+        for rec in trace:
+            predictor.update(rec.pc, rec.taken, predictor.predict(rec.pc))
+        return predictor.stats.accuracy
+
+    accuracy = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert accuracy > 0.5
+
+
+def test_perceptron_estimator_throughput(benchmark, trace):
+    def run():
+        frontend = FrontEnd(
+            make_baseline_hybrid(), PerceptronConfidenceEstimator()
+        )
+        return frontend.run(trace)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.branches == len(trace)
+
+
+def test_pipeline_simulator_throughput(benchmark, trace):
+    frontend = FrontEnd(make_baseline_hybrid(), AlwaysHighEstimator())
+    events = [frontend.process(r) for r in trace]
+
+    def run():
+        return PipelineSimulator(BASELINE_40X4).simulate(iter(events))
+
+    stats = run_once(benchmark, run)
+    assert stats.branches == len(trace)

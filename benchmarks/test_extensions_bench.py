@@ -1,0 +1,46 @@
+"""Benchmarks: regenerate the beyond-the-paper extension results."""
+
+from conftest import run_once
+
+from repro.experiments import ablation_combined, energy, oracle_bound, smt
+from repro.experiments.common import ExperimentSettings
+
+SETTINGS = ExperimentSettings(
+    n_branches=12_000, warmup=4_000, benchmarks=("gzip", "mcf")
+)
+
+
+def test_oracle_bound(benchmark):
+    result = run_once(benchmark, lambda: oracle_bound.run(SETTINGS))
+    print()
+    print(result.format())
+    perfect = result.row("oracle 100%/100%")
+    real = result.row("perceptron l=0")
+    assert perfect.uop_reduction_pct >= real.uop_reduction_pct
+
+
+def test_energy(benchmark):
+    result = run_once(benchmark, lambda: energy.run(SETTINGS))
+    print()
+    print(result.format())
+    assert any(r.energy_savings_pct > 0 for r in result.rows)
+
+
+def test_smt(benchmark):
+    settings = ExperimentSettings(
+        n_branches=12_000, warmup=4_000, benchmarks=("gzip", "mcf", "gcc")
+    )
+    result = run_once(
+        benchmark, lambda: smt.run(settings, pairs=(("mcf", "gcc"),))
+    )
+    print()
+    print(result.format())
+    row = result.rows[0]
+    assert row.controlled_wasted_fraction <= row.baseline_wasted_fraction
+
+
+def test_ablation_combined(benchmark):
+    result = run_once(benchmark, lambda: ablation_combined.run(SETTINGS))
+    print()
+    print(result.format())
+    assert result.row("union").matrix.spec >= result.row("perceptron").matrix.spec

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figures 4/5 (perceptron_cic output density)."""
+
+from conftest import run_once
+
+from repro.experiments import figure4_5
+from repro.experiments.common import ExperimentSettings
+
+# Density needs a longer single-benchmark trace to populate the tail.
+SETTINGS = ExperimentSettings(
+    n_branches=30_000, warmup=10_000, benchmarks=("gcc",)
+)
+
+
+def test_figure4_5(benchmark):
+    result = run_once(
+        benchmark, lambda: figure4_5.run(SETTINGS, benchmark="gcc")
+    )
+    print()
+    print(result.format())
+    edges, cb, mb = result.histogram(bins=30)
+    assert cb.sum() > 0 and mb.sum() > 0
+    # Shape: MB mass sits to the right of CB mass (Figure 4), and the
+    # high-confidence region is almost free of mispredictions.
+    assert result.separation > 20
+    high_region = result.regions[2]
+    assert high_region.mispredict_fraction < 0.1

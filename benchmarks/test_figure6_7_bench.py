@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figures 6/7 (perceptron_tnt output density)."""
+
+from conftest import run_once
+
+from repro.experiments import figure6_7
+from repro.experiments.common import ExperimentSettings
+
+SETTINGS = ExperimentSettings(
+    n_branches=30_000, warmup=10_000, benchmarks=("gcc",)
+)
+
+
+def test_figure6_7(benchmark):
+    result = run_once(
+        benchmark, lambda: figure6_7.run(SETTINGS, benchmark="gcc")
+    )
+    print()
+    print(result.format())
+    # Shape (the paper's key negative result): no output region where
+    # mispredicted branches dominate -> no reversal opportunity.
+    assert result.mb_never_dominates
+    assert result.crossover is None

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 (gating + reversal, 40c/4w)."""
+
+from conftest import run_once
+
+from repro.experiments import figure8
+from repro.experiments.common import ExperimentSettings
+
+SETTINGS = ExperimentSettings(
+    n_branches=20_000, warmup=7_000, benchmarks=("gzip", "mcf", "twolf")
+)
+
+
+def test_figure8(benchmark):
+    result = run_once(benchmark, lambda: figure8.run(SETTINGS))
+    print()
+    print(result.format())
+    assert result.machine_label == "40c/4w"
+    # Shape: the combined policy reduces execution on the mispredict-
+    # heavy benchmarks and both mechanisms engage.
+    assert any(r.uop_reduction_pct > 0 for r in result.rows)
+    assert sum(r.reversals for r in result.rows) > 0

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 9 (gating + reversal, 20c/8w)."""
+
+from conftest import run_once
+
+from repro.experiments import figure8, figure9
+from repro.experiments.common import ExperimentSettings
+
+SETTINGS = ExperimentSettings(
+    n_branches=20_000, warmup=7_000, benchmarks=("gzip", "mcf", "twolf")
+)
+
+
+def test_figure9(benchmark):
+    result = run_once(benchmark, lambda: figure9.run(SETTINGS))
+    print()
+    print(result.format())
+    assert result.machine_label == "20c/8w"
+    deep = figure8.run(SETTINGS)
+    # Shape: the wide machine's shorter pipe means smaller stall and
+    # recovery penalties, so its performance cost never exceeds the
+    # deep machine's by much; its uop reduction is comparable (the
+    # paper's Figure 9 point is that the *benefit* does not grow with
+    # width the way it does with depth).
+    assert result.average_speedup_pct >= deep.average_speedup_pct - 2.0
+    assert result.average_uop_reduction_pct <= deep.average_uop_reduction_pct + 5.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the Section 5.4.2 latency comparison."""
+
+from conftest import BENCH_ONE, run_once
+
+from repro.experiments import latency
+
+
+def test_latency(benchmark):
+    result = run_once(benchmark, lambda: latency.run(BENCH_ONE))
+    print()
+    print(result.format())
+    ideal = result.row(1)
+    slow = result.row(9)
+    # Shape: a 9-cycle estimator keeps most of the ideal reduction.
+    assert slow.uop_reduction_pct > 0.4 * ideal.uop_reduction_pct

@@ -1,0 +1,34 @@
+"""Benchmarks: speculation-control mechanism extensions."""
+
+from conftest import run_once
+
+from repro.experiments import throttle, warmup_curve
+from repro.experiments.common import ExperimentSettings
+
+SETTINGS = ExperimentSettings(
+    n_branches=12_000, warmup=4_000, benchmarks=("gzip", "mcf")
+)
+
+
+def test_throttle(benchmark):
+    result = run_once(benchmark, lambda: throttle.run(SETTINGS))
+    print()
+    print(result.format())
+    # Shape: throttling loses less performance than stalling at the
+    # same estimator threshold.
+    stall = result.row("stall", -50)
+    half = result.row("throttle 1/2", -50)
+    assert half.performance_loss_pct <= stall.performance_loss_pct
+    assert half.uop_reduction_pct <= stall.uop_reduction_pct
+
+
+def test_warmup_curve(benchmark):
+    settings = ExperimentSettings(
+        n_branches=24_000, warmup=1_000, benchmarks=("gzip",)
+    )
+    result = run_once(
+        benchmark, lambda: warmup_curve.run(settings, windows=6)
+    )
+    print()
+    print(result.format())
+    assert len(result.points) == 6

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (speculative-execution characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, bench_settings):
+    result = run_once(benchmark, lambda: table2.run(bench_settings))
+    print()
+    print(result.format())
+    # Shape: waste grows with depth/width; mcf is the worst benchmark.
+    rows = {r.benchmark: r for r in result.rows}
+    assert rows["mcf"].mispredicts_per_kuop == max(
+        r.mispredicts_per_kuop for r in result.rows
+    )
+    for row in result.rows:
+        assert row.uop_increase_pct["40c4w"] >= row.uop_increase_pct["20c4w"]
+        assert row.uop_increase_pct["20c8w"] >= row.uop_increase_pct["20c4w"]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 3 (JRS vs perceptron PVN/Spec ladders)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, bench_settings):
+    result = run_once(benchmark, lambda: table3.run(bench_settings))
+    print()
+    print(result.format())
+    # Shape: perceptron is the accuracy side, JRS the coverage side.
+    perc_mid = next(p for p in result.perceptron if p.threshold == 0)
+    jrs_mid = next(p for p in result.jrs if p.threshold == 7)
+    assert perc_mid.pvn_pct > jrs_mid.pvn_pct
+    assert jrs_mid.spec_pct > perc_mid.spec_pct
+    assert result.accuracy_ratio() > 1.5

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 4 (pipeline gating U/P frontier)."""
+
+from conftest import BENCH_ONE, run_once
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, lambda: table4.run(BENCH_ONE))
+    print()
+    print(result.format())
+    # Shape: perceptron PL1 dominates JRS PL1 on performance loss; JRS
+    # coverage buys it more raw uop reduction at PL1.
+    perc = result.cell("perceptron", 0, 1)
+    jrs = result.cell("JRS", 7, 1)
+    assert jrs.performance_loss_pct > perc.performance_loss_pct
+    assert jrs.uop_reduction_pct > perc.uop_reduction_pct
+    # Raising PL softens JRS on both axes.
+    assert (
+        result.cell("JRS", 7, 3).performance_loss_pct
+        < result.cell("JRS", 7, 1).performance_loss_pct
+    )

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 5 (better baseline predictor)."""
+
+from conftest import BENCH_ONE, run_once
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark):
+    result = run_once(benchmark, lambda: table5.run(BENCH_ONE))
+    print()
+    print(result.format())
+    base = result.rows_for("bimodal-gshare")
+    better = result.rows_for("gshare-perceptron")
+    assert len(base) == 4 and len(better) == 4
+    # Shape: the better predictor mispredicts less, leaving less for
+    # gating to harvest.
+    assert better[0].mispredicts_per_kuop <= base[0].mispredicts_per_kuop

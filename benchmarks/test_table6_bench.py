@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 6 (perceptron size sensitivity)."""
+
+from conftest import BENCH_ONE, run_once
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark):
+    result = run_once(benchmark, lambda: table6.run(BENCH_ONE))
+    print()
+    print(result.format())
+    labels = [r.config.label for r in result.rows]
+    assert labels == [
+        "P128W8H32", "P96W8H32", "P128W6H32", "P128W8H24",
+        "P64W8H32", "P128W4H32", "P128W8H16",
+    ]
+    # Shape: halving entries is the gentlest 2KB cut (paper's main
+    # finding); it must not beat the full 4KB config by much.
+    full = result.row("P128W8H32")
+    fewer_entries = result.row("P64W8H32")
+    assert fewer_entries.uop_reduction_pct >= full.uop_reduction_pct - 5

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Branch reversal walkthrough (Section 5.5).
+
+Shows why correct/incorrect training enables reversal: plots (as text)
+the cic output density split by prediction outcome, locates the
+empirical region where mispredictions dominate, then applies the
+three-region policy (reverse / gate / pass) and reports the outcome
+against gating alone.
+
+Run:  python examples/branch_reversal.py [benchmark]
+"""
+
+import sys
+
+from repro import FrontEnd, generate_benchmark_trace
+from repro.analysis.density import OutputDensity
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.core.reversal import GatingOnlyPolicy, ThreeRegionPolicy
+from repro.pipeline.config import BASELINE_40X4
+from repro.pipeline.runner import compare_policies
+from repro.predictors.hybrid import make_baseline_hybrid
+
+
+def text_histogram(density, bins=24, width=50):
+    """Two-column ASCII density plot (CB vs MB per output bin)."""
+    edges, cb, mb = density.histogram(bins=bins)
+    cb_max, mb_max = max(cb.max(), 1), max(mb.max(), 1)
+    lines = ["output      CB                         | MB"]
+    for i in range(bins):
+        centre = (edges[i] + edges[i + 1]) / 2
+        cb_bar = "#" * int(width * cb[i] / cb_max / 2)
+        mb_bar = "*" * int(width * mb[i] / mb_max / 2)
+        lines.append(f"{centre:8.0f}  {cb_bar:<25}| {mb_bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    n_branches, warmup = 100_000, 33_000
+    trace = generate_benchmark_trace(benchmark, n_branches=n_branches, seed=1)
+
+    # Step 1: collect the output density (Figure 4/5 analysis).
+    frontend = FrontEnd(
+        make_baseline_hybrid(),
+        PerceptronConfidenceEstimator(threshold=0),
+        collect_outputs=True,
+    )
+    result = frontend.run(trace, warmup=warmup)
+    density = OutputDensity.from_frontend_result(result)
+    print(f"perceptron_cic output density on {benchmark!r}:")
+    print(text_histogram(density))
+
+    crossover = density.crossover_output()
+    print(f"\nempirical crossover (MB > CB) at output ~ {crossover}")
+
+    # Step 2: pick thresholds from the density, as Section 5.5 does.
+    reverse_at = crossover if crossover is not None else 40.0
+    gate_at = -90.0
+    reversal_region = density.region(reverse_at, float("inf"))
+    print(
+        f"region y>{reverse_at:.0f}: {reversal_region.mispredicted} MB vs "
+        f"{reversal_region.correct} CB "
+        f"(mispredict fraction {reversal_region.mispredict_fraction:.0%})"
+    )
+
+    # Step 3: combined policy vs gating alone.
+    combined = compare_policies(
+        trace,
+        make_baseline_hybrid,
+        lambda: PerceptronConfidenceEstimator(
+            threshold=gate_at, strong_threshold=reverse_at
+        ),
+        ThreeRegionPolicy(),
+        BASELINE_40X4.with_gating(2),
+        warmup=warmup,
+    )
+    gating_only = compare_policies(
+        trace,
+        make_baseline_hybrid,
+        lambda: PerceptronConfidenceEstimator(threshold=gate_at),
+        GatingOnlyPolicy(),
+        BASELINE_40X4.with_gating(2),
+        warmup=warmup,
+    )
+
+    stats = combined.policy.stats
+    print(
+        f"\nreversals: {stats.reversals} "
+        f"({stats.reversals_correcting} fixed, "
+        f"{stats.reversals_breaking} broken)"
+    )
+    print(
+        f"gating alone   : U = {gating_only.uop_reduction_pct:5.1f}%   "
+        f"P = {gating_only.performance_loss_pct:5.1f}%"
+    )
+    print(
+        f"gating+reversal: U = {combined.uop_reduction_pct:5.1f}%   "
+        f"P = {combined.performance_loss_pct:5.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

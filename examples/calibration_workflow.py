@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Workload calibration walkthrough.
+
+Shows the full loop a user follows when adding or modifying a synthetic
+benchmark: measure the per-class misprediction composition, re-solve
+the class weights against the Table 2 target, verify convergence, and
+inspect the resulting accuracy/coverage curves with the curve tools.
+
+Run:  python examples/calibration_workflow.py [benchmark]
+"""
+
+import sys
+
+from repro import format_table, generate_benchmark_trace, make_baseline_hybrid
+from repro.analysis.curves import ConfidenceCurve, area_under_curve, dominates
+from repro.analysis.sweep import sweep_estimator_thresholds
+from repro.core.jrs import JRSEstimator
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.trace.benchmarks import benchmark_profile
+from repro.trace.calibration import calibrate_profile, measure_profile
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    profile = benchmark_profile(name)
+
+    # Step 1: measure the current per-class composition.
+    print(f"measuring {name!r} composition under the baseline hybrid...")
+    measurement = measure_profile(profile, n_branches=30_000, warmup=10_000)
+    rows = [
+        {
+            "class": cls,
+            "dyn share %": round(100 * measurement.shares.get(cls, 0), 2),
+            "mispredict %": round(100 * measurement.rates.get(cls, 0), 1),
+        }
+        for cls in sorted(measurement.shares)
+    ]
+    print(format_table(rows, title="per-class composition"))
+    target = profile.mispredict_target_per_kuop * profile.uops_per_branch / 1000
+    print(
+        f"overall: {measurement.overall_rate:.2%} "
+        f"(Table 2 target {target:.2%})"
+    )
+
+    # Step 2: re-solve and verify convergence.
+    print("\nre-calibrating...")
+    result = calibrate_profile(profile, n_branches=30_000, warmup=10_000)
+    print(
+        f"converged={result.converged} after {result.iterations} iterations "
+        f"(measured/target = {result.ratio:.2f})"
+    )
+
+    # Step 3: curve-level comparison on the calibrated workload.
+    trace = generate_benchmark_trace(name, n_branches=40_000, seed=1)
+    jrs_curve = ConfidenceCurve.from_threshold_points(
+        sweep_estimator_thresholds(
+            trace,
+            make_baseline_hybrid,
+            lambda t: JRSEstimator(threshold=int(t)),
+            thresholds=(3, 7, 11, 15),
+            warmup=13_000,
+        ),
+        name="enhanced JRS",
+    )
+    perc_curve = ConfidenceCurve.from_threshold_points(
+        sweep_estimator_thresholds(
+            trace,
+            make_baseline_hybrid,
+            lambda t: PerceptronConfidenceEstimator(threshold=t),
+            thresholds=(25, 0, -25, -50),
+            warmup=13_000,
+        ),
+        name="perceptron",
+    )
+    print(
+        f"\ncurve summary: perceptron AUC {area_under_curve(perc_curve):.2f} "
+        f"vs JRS AUC {area_under_curve(jrs_curve):.2f}"
+    )
+    print(
+        "perceptron dominates JRS on overlapping coverage: "
+        f"{dominates(perc_curve, jrs_curve)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

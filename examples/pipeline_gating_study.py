@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Pipeline-gating design study: the U-vs-P frontier.
+
+Sweeps the perceptron confidence estimator's threshold and the
+low-confidence branch-counter threshold (PL) on a chosen machine,
+reporting the reduction in executed uops (U) against the performance
+loss (P) for each design point -- the exploration behind Table 4's
+"spectrum of interesting design options".
+
+Run:  python examples/pipeline_gating_study.py [benchmark] [machine]
+      machine in {20c4w, 20c8w, 40c4w}
+"""
+
+import sys
+
+from repro import format_table, generate_benchmark_trace
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.core.reversal import GatingOnlyPolicy
+from repro.pipeline.config import PIPELINE_PRESETS
+from repro.pipeline.runner import compare_policies
+from repro.predictors.hybrid import make_baseline_hybrid
+
+THRESHOLDS = (25, 0, -25, -50, -75)
+COUNTERS = (1, 2)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    machine = sys.argv[2] if len(sys.argv) > 2 else "40c4w"
+    config = PIPELINE_PRESETS[machine]
+    n_branches, warmup = 60_000, 20_000
+
+    print(f"workload {benchmark!r} on the {config.label()} machine")
+    trace = generate_benchmark_trace(benchmark, n_branches=n_branches, seed=1)
+
+    rows = []
+    for pl in COUNTERS:
+        for threshold in THRESHOLDS:
+            run = compare_policies(
+                trace,
+                make_baseline_hybrid,
+                lambda t=threshold: PerceptronConfidenceEstimator(threshold=t),
+                GatingOnlyPolicy(),
+                config.with_gating(pl),
+                warmup=warmup,
+            )
+            rows.append(
+                {
+                    "lambda": threshold,
+                    "PL": pl,
+                    "U %": round(run.uop_reduction_pct, 1),
+                    "P %": round(run.performance_loss_pct, 1),
+                    "stalls": run.policy.stats.gating_stalls,
+                    "wrong-path saved": round(
+                        run.policy.stats.wrong_path_uops_saved
+                    ),
+                }
+            )
+
+    print(format_table(rows, title="Gating design-space frontier"))
+    best = max(
+        (r for r in rows if r["P %"] <= 1.0),
+        key=lambda r: r["U %"],
+        default=None,
+    )
+    if best:
+        print(
+            f"\nbest design point at <=1% loss: lambda={best['lambda']}, "
+            f"PL{best['PL']} -> {best['U %']}% fewer uops executed"
+        )
+    else:
+        print("\nno design point achieved <=1% loss at this trace size")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: estimate branch confidence on a synthetic benchmark.
+
+Builds the paper's setup in a few lines: a SPECint2000-like trace, the
+Table 1 baseline hybrid predictor, and the perceptron confidence
+estimator, then reports the Section 2.2 quality metrics.
+
+Run:  python examples/quickstart.py [benchmark] [n_branches]
+"""
+
+import sys
+
+from repro import (
+    FrontEnd,
+    PerceptronConfidenceEstimator,
+    generate_benchmark_trace,
+    make_baseline_hybrid,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    n_branches = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    warmup = n_branches // 3
+
+    print(f"generating {benchmark!r} trace ({n_branches} branches)...")
+    trace = generate_benchmark_trace(benchmark, n_branches=n_branches, seed=1)
+    stats = trace.stats()
+    print(
+        f"  {stats.branches} branches, {stats.total_uops} uops, "
+        f"{stats.taken_fraction:.0%} taken, "
+        f"{stats.static_branches} static branches"
+    )
+
+    predictor = make_baseline_hybrid()
+    estimator = PerceptronConfidenceEstimator(threshold=0)
+    print(
+        f"replaying through {predictor.name} "
+        f"({predictor.storage_kib:.0f} KiB) + {estimator.name} "
+        f"({estimator.storage_kib:.1f} KiB)..."
+    )
+
+    result = FrontEnd(predictor, estimator).run(trace, warmup=warmup)
+    matrix = result.metrics.overall
+
+    print()
+    print(f"branches measured     : {result.branches}")
+    print(f"misprediction rate    : {result.misprediction_rate:.2%}")
+    print(f"flagged low confidence: {matrix.flagged_low} "
+          f"({matrix.flagged_low / matrix.total:.2%} of branches)")
+    print(f"PVN (accuracy)        : {matrix.pvn:.1%}  "
+          "(probability a low-confidence flag is right)")
+    print(f"Spec (coverage)       : {matrix.spec:.1%}  "
+          "(share of mispredicts flagged)")
+
+
+if __name__ == "__main__":
+    main()

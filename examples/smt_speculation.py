@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""SMT speculation control: convert one thread's waste into the other's work.
+
+The paper motivates confidence estimation partly through SMT: wrong-path
+fetch slots could feed another thread.  This example co-schedules two
+benchmarks on the two-thread SMT front end and compares combined
+throughput with and without confidence-directed fetch (a thread whose
+unresolved low-confidence branches reach the threshold yields its
+slots).
+
+Run:  python examples/smt_speculation.py [thread_a] [thread_b]
+"""
+
+import sys
+
+from repro import generate_benchmark_trace
+from repro.core.frontend import FrontEnd
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.core.reversal import GatingOnlyPolicy
+from repro.pipeline.config import BASELINE_40X4
+from repro.pipeline.smt import SmtSimulator
+from repro.predictors.hybrid import make_baseline_hybrid
+
+
+def replay(name, n_branches=60_000):
+    trace = generate_benchmark_trace(name, n_branches=n_branches, seed=1)
+    frontend = FrontEnd(
+        make_baseline_hybrid(),
+        PerceptronConfidenceEstimator(threshold=0),
+        GatingOnlyPolicy(),
+    )
+    return [frontend.process(r) for r in trace]
+
+
+def describe(label, stats, names):
+    print(f"{label}:")
+    print(
+        f"  combined throughput : {stats.throughput:.3f} uops/cycle "
+        f"over {stats.total_cycles:.0f} cycles"
+    )
+    print(f"  wasted fetch        : {stats.wasted_fraction:.1%}")
+    for name, thread in zip(names, stats.threads):
+        print(
+            f"  {name:<8} correct={thread.correct_uops:>8}  "
+            f"wrong-path={thread.wrong_path_uops:>10.0f}  "
+            f"gated cycles={thread.gated_cycles}"
+        )
+
+
+def main() -> None:
+    name_a = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    name_b = sys.argv[2] if len(sys.argv) > 2 else "gcc"
+    print(f"co-scheduling {name_a!r} (thread A) with {name_b!r} (thread B)\n")
+
+    events_a, events_b = replay(name_a), replay(name_b)
+    config = BASELINE_40X4.with_gating(1)
+
+    baseline = SmtSimulator(config, gate_yields=False).simulate(
+        events_a, events_b
+    )
+    controlled = SmtSimulator(config, gate_yields=True).simulate(
+        events_a, events_b
+    )
+
+    describe("baseline SMT (no speculation control)", baseline,
+             (name_a, name_b))
+    print()
+    describe("confidence-directed fetch", controlled, (name_a, name_b))
+
+    gain = 100.0 * (
+        controlled.throughput - baseline.throughput
+    ) / baseline.throughput
+    print(f"\ncombined throughput gain: {gain:+.1f}%")
+    print(
+        "expected shape: pairs with a mispredict-heavy thread (mcf) gain "
+        "the most;\nclean pairs gain little."
+    )
+
+
+if __name__ == "__main__":
+    main()

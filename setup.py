@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only
+enables legacy ``pip install -e .`` in offline environments where PEP
+517 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

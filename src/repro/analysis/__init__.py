@@ -1,0 +1,47 @@
+"""Analysis utilities: output densities, threshold sweeps, reports.
+
+- :mod:`repro.analysis.density` -- the perceptron output density
+  functions of Figures 4-7, split by prediction outcome, with the
+  three-region decomposition of Section 5.3.
+- :mod:`repro.analysis.sweep` -- threshold sweeps producing
+  (Spec, PVN) curves and U/P frontiers.
+- :mod:`repro.analysis.tables` -- plain-text table rendering used by
+  the experiment harness and examples.
+"""
+
+from repro.analysis.curves import (
+    ConfidenceCurve,
+    area_under_curve,
+    dominates,
+)
+from repro.analysis.density import OutputDensity, RegionSummary
+from repro.analysis.export import rows_from_result, write_csv, write_json
+from repro.analysis.report import markdown_table, render_report, write_report
+from repro.analysis.stability import MetricSpread, sweep_seeds
+from repro.analysis.sweep import ThresholdPoint, sweep_estimator_thresholds
+from repro.analysis.tables import format_table
+from repro.analysis.textplot import density_plot, frontier_plot
+from repro.analysis.timeline import MetricTimeline, WindowPoint
+
+__all__ = [
+    "ConfidenceCurve",
+    "area_under_curve",
+    "dominates",
+    "OutputDensity",
+    "RegionSummary",
+    "markdown_table",
+    "render_report",
+    "write_report",
+    "MetricSpread",
+    "sweep_seeds",
+    "ThresholdPoint",
+    "sweep_estimator_thresholds",
+    "format_table",
+    "rows_from_result",
+    "write_csv",
+    "write_json",
+    "density_plot",
+    "frontier_plot",
+    "MetricTimeline",
+    "WindowPoint",
+]

@@ -1,0 +1,193 @@
+"""Perceptron output density analysis (Figures 4-7).
+
+Section 5.3 explains *why* correct/incorrect training beats
+taken/not-taken training by plotting the density function of the
+perceptron output separately for correctly predicted branches (CB) and
+mispredicted branches (MB).  :class:`OutputDensity` reproduces that
+analysis: histograms over the two populations, zooming, and the
+three-region decomposition (reversal region where MB outnumbers CB,
+gating region where the MB:CB ratio is still high, high-confidence
+region below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.frontend import FrontEndResult
+
+__all__ = ["OutputDensity", "RegionSummary"]
+
+
+@dataclass(frozen=True)
+class RegionSummary:
+    """Counts within one output-value region.
+
+    Attributes:
+        low: Inclusive lower edge of the region (-inf allowed).
+        high: Exclusive upper edge of the region (+inf allowed).
+        correct: Correctly predicted branches with output in region.
+        mispredicted: Mispredicted branches with output in region.
+    """
+
+    low: float
+    high: float
+    correct: int
+    mispredicted: int
+
+    @property
+    def total(self) -> int:
+        """All branches whose output fell in the region."""
+        return self.correct + self.mispredicted
+
+    @property
+    def mispredict_fraction(self) -> float:
+        """MB share of the region -- the PVN of flagging this region low."""
+        return self.mispredicted / self.total if self.total else 0.0
+
+    @property
+    def mb_dominates(self) -> bool:
+        """True when mispredictions outnumber correct predictions.
+
+        This is the Figure 5 criterion for the reversal region: if most
+        branches landing here are mispredicted, inverting the
+        prediction wins on average.
+        """
+        return self.mispredicted > self.correct
+
+
+class OutputDensity:
+    """CB/MB histograms of a confidence estimator's raw output."""
+
+    def __init__(
+        self,
+        outputs_correct: Sequence[float],
+        outputs_mispredicted: Sequence[float],
+    ):
+        self._correct = np.asarray(outputs_correct, dtype=np.float64)
+        self._mispredicted = np.asarray(outputs_mispredicted, dtype=np.float64)
+
+    @classmethod
+    def from_frontend_result(cls, result: FrontEndResult) -> "OutputDensity":
+        """Build from a replay run with ``collect_outputs=True``."""
+        if not result.outputs_correct and not result.outputs_mispredicted:
+            raise ValueError(
+                "front-end result carries no raw outputs; run the FrontEnd "
+                "with collect_outputs=True"
+            )
+        return cls(result.outputs_correct, result.outputs_mispredicted)
+
+    @property
+    def correct_outputs(self) -> np.ndarray:
+        """Raw outputs of correctly predicted branches (CB)."""
+        return self._correct
+
+    @property
+    def mispredicted_outputs(self) -> np.ndarray:
+        """Raw outputs of mispredicted branches (MB)."""
+        return self._mispredicted
+
+    def histogram(
+        self,
+        bins: int = 60,
+        value_range: Optional[Tuple[float, float]] = None,
+    ):
+        """Shared-bin histograms for the CB and MB populations.
+
+        Returns ``(bin_edges, cb_counts, mb_counts)``.  ``value_range``
+        implements the Figure 5 / Figure 7 zooms; by default the full
+        span of both populations is covered.
+        """
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        if value_range is None:
+            combined = np.concatenate([self._correct, self._mispredicted])
+            if combined.size == 0:
+                raise ValueError("no outputs recorded")
+            lo, hi = float(combined.min()), float(combined.max())
+            if lo == hi:
+                lo, hi = lo - 0.5, hi + 0.5
+            value_range = (lo, hi)
+        cb_counts, edges = np.histogram(
+            self._correct, bins=bins, range=value_range
+        )
+        mb_counts, _ = np.histogram(
+            self._mispredicted, bins=bins, range=value_range
+        )
+        return edges, cb_counts, mb_counts
+
+    def region(self, low: float, high: float) -> RegionSummary:
+        """Counts for outputs in ``[low, high)``."""
+        cb = int(np.count_nonzero((self._correct >= low) & (self._correct < high)))
+        mb = int(
+            np.count_nonzero(
+                (self._mispredicted >= low) & (self._mispredicted < high)
+            )
+        )
+        return RegionSummary(low=low, high=high, correct=cb, mispredicted=mb)
+
+    def three_regions(
+        self, reverse_threshold: float = 30.0, gate_threshold: float = -30.0
+    ):
+        """The Section 5.3 decomposition of the output axis.
+
+        Returns ``(reversal, gating, high_confidence)`` region
+        summaries: outputs above ``reverse_threshold``, between the two
+        thresholds, and below ``gate_threshold``.
+        """
+        if gate_threshold > reverse_threshold:
+            raise ValueError(
+                f"gate_threshold ({gate_threshold}) must be <= "
+                f"reverse_threshold ({reverse_threshold})"
+            )
+        inf = float("inf")
+        return (
+            self.region(reverse_threshold, inf),
+            self.region(gate_threshold, reverse_threshold),
+            self.region(-inf, gate_threshold),
+        )
+
+    def crossover_output(
+        self, bins: int = 120, min_bin_count: int = 5, min_mb_share: float = 0.02
+    ) -> Optional[float]:
+        """Smallest output above which MB counts exceed CB counts.
+
+        Locates the empirical reversal threshold: the output value past
+        which mispredictions dominate.  Bins occupied by fewer than
+        ``min_bin_count`` branches are ignored, and the dominated tail
+        must hold at least ``min_mb_share`` of all mispredictions --
+        otherwise sparse outliers would masquerade as a region.  Returns
+        ``None`` when no such region exists (the tnt-trained
+        estimator's signature, Figure 7).
+        """
+        edges, cb, mb = self.histogram(bins=bins)
+        centres = (edges[:-1] + edges[1:]) / 2.0
+        significant = (cb + mb) >= min_bin_count
+        total_mb = mb.sum()
+        if total_mb == 0:
+            return None
+        dominated = np.nonzero((mb > cb) & significant)[0]
+        for idx in dominated:
+            tail = slice(idx, None)
+            tail_sig = significant[tail]
+            if not np.all((mb[tail] >= cb[tail])[tail_sig]):
+                continue
+            if mb[tail].sum() >= min_mb_share * total_mb:
+                return float(centres[idx])
+        return None
+
+    def summary(self) -> dict:
+        """Compact description used by experiment reports."""
+        cb, mb = self._correct, self._mispredicted
+        return {
+            "correct_branches": int(cb.size),
+            "mispredicted_branches": int(mb.size),
+            "cb_mean": float(cb.mean()) if cb.size else 0.0,
+            "mb_mean": float(mb.mean()) if mb.size else 0.0,
+            "cb_median": float(np.median(cb)) if cb.size else 0.0,
+            "mb_median": float(np.median(mb)) if mb.size else 0.0,
+            "crossover": self.crossover_output(),
+        }

@@ -1,0 +1,70 @@
+"""Export experiment results to CSV / JSON.
+
+Every experiment result in :mod:`repro.experiments` exposes rows as
+dictionaries (via ``as_dict`` on its row objects or a ``rows`` list);
+these helpers serialise those rows for downstream plotting without
+adding any dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["rows_from_result", "write_csv", "write_json"]
+
+
+def rows_from_result(result) -> List[dict]:
+    """Extract dict rows from an experiment result object.
+
+    Accepts anything with a ``rows`` attribute whose elements expose
+    ``as_dict()``, a ``cells`` attribute likewise, or a plain sequence
+    of dicts.
+    """
+    for attr in ("rows", "cells"):
+        items = getattr(result, attr, None)
+        if items is not None:
+            out = []
+            for item in items:
+                if isinstance(item, Mapping):
+                    out.append(dict(item))
+                elif hasattr(item, "as_dict"):
+                    out.append(item.as_dict())
+                else:
+                    raise TypeError(
+                        f"{attr} element {type(item).__name__} has no as_dict()"
+                    )
+            return out
+    if isinstance(result, Sequence):
+        return [dict(r) for r in result]
+    raise TypeError(
+        f"cannot extract rows from {type(result).__name__}: expected "
+        "'rows', 'cells', or a sequence of mappings"
+    )
+
+
+def write_csv(result, path: str, columns: Optional[Sequence[str]] = None) -> int:
+    """Write an experiment result to CSV; returns the row count."""
+    rows = rows_from_result(result)
+    if not rows:
+        with open(path, "w", newline="", encoding="utf-8"):
+            pass
+        return 0
+    fieldnames = list(columns) if columns else list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def write_json(result, path: str, label: Optional[str] = None) -> int:
+    """Write an experiment result to JSON; returns the row count."""
+    rows = rows_from_result(result)
+    payload = {"label": label, "rows": rows} if label else {"rows": rows}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+    return len(rows)

@@ -1,0 +1,88 @@
+"""Markdown report generation for experiment results.
+
+Renders any collection of experiment results (objects exposing rows via
+``as_dict`` and a ``format()`` summary) into one Markdown document with
+a section per experiment -- the machine-generated counterpart of the
+hand-curated EXPERIMENTS.md.  Used by ``python -m repro.experiments
+--markdown <path>`` and directly scriptable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.export import rows_from_result
+
+__all__ = ["markdown_table", "render_report", "write_report"]
+
+
+def markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dict rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    body = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.2f}")
+            else:
+                cells.append(str(value))
+        body.append("| " + " | ".join(cells) + " |")
+    return "\n".join([header, rule] + body)
+
+
+def render_report(
+    results: Dict[str, object],
+    title: str = "Experiment report",
+    preamble: Optional[str] = None,
+) -> str:
+    """Render experiment results into one Markdown document.
+
+    Args:
+        results: Mapping of experiment id to result object (as returned
+            by :func:`repro.experiments.runner.run_all`).
+        title: Document heading.
+        preamble: Optional text inserted after the heading.
+    """
+    lines: List[str] = [f"# {title}", ""]
+    if preamble:
+        lines += [preamble, ""]
+    for name, result in results.items():
+        lines.append(f"## {name}")
+        lines.append("")
+        try:
+            rows = rows_from_result(result)
+        except TypeError:
+            rows = None
+        if rows:
+            lines.append(markdown_table(rows))
+        elif hasattr(result, "format"):
+            lines.append("```")
+            lines.append(result.format())
+            lines.append("```")
+        else:
+            lines.append(f"*(unrenderable result of type "
+                         f"{type(result).__name__})*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results: Dict[str, object],
+    path: str,
+    title: str = "Experiment report",
+    preamble: Optional[str] = None,
+) -> None:
+    """Render and write a Markdown report to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_report(results, title=title, preamble=preamble))
+        fh.write("\n")

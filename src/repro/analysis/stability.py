@@ -1,0 +1,96 @@
+"""Multi-seed stability analysis.
+
+Every result in this reproduction is deterministic given a seed; this
+module quantifies how much the conclusions depend on the particular
+seed by re-running a measurement across seeds and summarising the
+spread.  Used by the ``seed_stability`` extension experiment and
+available for any user metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+__all__ = ["MetricSpread", "sweep_seeds"]
+
+
+@dataclass(frozen=True)
+class MetricSpread:
+    """Summary statistics of one metric across seeds."""
+
+    name: str
+    values: tuple
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for fewer than two samples)."""
+        if self.n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (self.n - 1)
+        )
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def relative_std(self) -> float:
+        """std / |mean| -- the headline stability number."""
+        mu = self.mean
+        return self.std / abs(mu) if mu else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.name,
+            "mean": round(self.mean, 3),
+            "std": round(self.std, 3),
+            "min": round(self.min, 3),
+            "max": round(self.max, 3),
+            "rel std %": round(100 * self.relative_std, 1),
+        }
+
+
+def sweep_seeds(
+    measure: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> List[MetricSpread]:
+    """Run ``measure(seed)`` per seed and summarise each returned metric.
+
+    ``measure`` returns a flat dict of metric name to value; all seeds
+    must return the same metric set.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    per_metric: Dict[str, List[float]] = {}
+    expected: set = set()
+    for i, seed in enumerate(seeds):
+        metrics = measure(int(seed))
+        if i == 0:
+            expected = set(metrics)
+        elif set(metrics) != expected:
+            raise ValueError(
+                f"seed {seed} returned metrics {sorted(metrics)}, "
+                f"expected {sorted(expected)}"
+            )
+        for name, value in metrics.items():
+            per_metric.setdefault(name, []).append(float(value))
+    return [
+        MetricSpread(name=name, values=tuple(values))
+        for name, values in sorted(per_metric.items())
+    ]

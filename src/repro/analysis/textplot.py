@@ -1,0 +1,80 @@
+"""Terminal plotting for densities and trade-off frontiers.
+
+Matplotlib is not available offline, so the figures are rendered as
+text: a two-column histogram for the Figure 4-7 densities and a scatter
+grid for U-vs-P frontiers.  Examples and the experiment CLI share these
+renderers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.density import OutputDensity
+
+__all__ = ["density_plot", "frontier_plot"]
+
+
+def density_plot(
+    density: OutputDensity,
+    bins: int = 24,
+    width: int = 28,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Side-by-side CB/MB histogram bars, one row per output bin.
+
+    CB bars are drawn with ``#`` and MB bars with ``*``; each column is
+    normalised to its own peak (the paper's Figures 4 and 6 use separate
+    y-scales for the same reason).
+    """
+    if width < 4:
+        raise ValueError(f"width must be >= 4, got {width}")
+    edges, cb, mb = density.histogram(bins=bins, value_range=value_range)
+    cb_max = max(int(cb.max()), 1)
+    mb_max = max(int(mb.max()), 1)
+    lines = [
+        f"{'output':>8}  {'CB (peak ' + str(cb_max) + ')':<{width}}| "
+        f"MB (peak {mb_max})"
+    ]
+    for i in range(len(cb)):
+        centre = (edges[i] + edges[i + 1]) / 2.0
+        cb_bar = "#" * round(width * int(cb[i]) / cb_max)
+        mb_bar = "*" * round(width * int(mb[i]) / mb_max)
+        lines.append(f"{centre:8.0f}  {cb_bar:<{width}}| {mb_bar}")
+    return "\n".join(lines)
+
+
+def frontier_plot(
+    points: Sequence[Tuple[float, float, str]],
+    width: int = 56,
+    height: int = 16,
+) -> str:
+    """Scatter U (y-axis) against P (x-axis) with one-char labels.
+
+    ``points`` are (p_pct, u_pct, label); the first character of each
+    label marks the point.  Collisions keep the earliest point.
+    """
+    if not points:
+        return "(no points)"
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4")
+    ps = [p for p, _, _ in points]
+    us = [u for _, u, _ in points]
+    p_lo, p_hi = min(ps + [0.0]), max(ps)
+    u_lo, u_hi = min(us + [0.0]), max(us)
+    p_span = (p_hi - p_lo) or 1.0
+    u_span = (u_hi - u_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for p, u, label in points:
+        col = round((p - p_lo) / p_span * (width - 1))
+        row = (height - 1) - round((u - u_lo) / u_span * (height - 1))
+        if grid[row][col] == " ":
+            grid[row][col] = (label or "?")[0]
+    lines = [f"U% (top={u_hi:.1f})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" P% from {p_lo:.1f} to {p_hi:.1f}")
+    legend = ", ".join(f"{(label or '?')[0]}={label}" for _, _, label in points[:8])
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

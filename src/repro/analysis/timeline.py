@@ -1,0 +1,96 @@
+"""Windowed metric timelines.
+
+The confidence estimators train online, so their quality evolves over a
+trace: early windows reflect cold tables, late windows the warm
+steady state.  :class:`MetricTimeline` accumulates per-window confusion
+matrices so warm-up behaviour, phase changes and convergence can be
+observed directly -- this is also the measurement behind the
+``warmup_curve`` extension experiment, which quantifies how much of the
+paper-vs-reproduction metric gap is training budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.metrics import ConfidenceMatrix
+
+__all__ = ["WindowPoint", "MetricTimeline"]
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """One window's aggregate metrics."""
+
+    window_index: int
+    start_branch: int
+    matrix: ConfidenceMatrix
+
+    def as_dict(self) -> dict:
+        return {
+            "window": self.window_index,
+            "start": self.start_branch,
+            "mispredict %": round(100 * self.matrix.misprediction_rate, 2),
+            "PVN %": round(100 * self.matrix.pvn, 1),
+            "Spec %": round(100 * self.matrix.spec, 1),
+        }
+
+
+class MetricTimeline:
+    """Accumulates confidence metrics into fixed-size branch windows."""
+
+    def __init__(self, window_size: int = 10_000):
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size}")
+        self.window_size = window_size
+        self._windows: List[ConfidenceMatrix] = []
+        self._count = 0
+
+    def record(self, low_confidence: bool, mispredicted: bool) -> None:
+        """Account one resolved branch into the current window."""
+        index = self._count // self.window_size
+        while len(self._windows) <= index:
+            self._windows.append(ConfidenceMatrix())
+        self._windows[index].record(low_confidence, mispredicted)
+        self._count += 1
+
+    @property
+    def branches(self) -> int:
+        """Branches recorded so far."""
+        return self._count
+
+    def points(self, complete_only: bool = True) -> List[WindowPoint]:
+        """Per-window metric points, oldest first.
+
+        ``complete_only`` drops a trailing partial window so trend
+        comparisons are not skewed by a short tail.
+        """
+        points = []
+        for i, matrix in enumerate(self._windows):
+            if complete_only and matrix.total < self.window_size:
+                continue
+            points.append(
+                WindowPoint(
+                    window_index=i,
+                    start_branch=i * self.window_size,
+                    matrix=matrix,
+                )
+            )
+        return points
+
+    def trend(self, metric: str = "pvn", complete_only: bool = True):
+        """The metric's value per window, e.g. ``trend("spec")``."""
+        valid = ("pvn", "spec", "misprediction_rate", "sens", "pvp")
+        if metric not in valid:
+            raise ValueError(f"metric must be one of {valid}, got {metric!r}")
+        return [
+            getattr(p.matrix, metric) for p in self.points(complete_only)
+        ]
+
+    def improvement(self, metric: str = "pvn") -> Optional[float]:
+        """Last-window minus first-window value (None if < 2 windows)."""
+        values = self.trend(metric)
+        if len(values) < 2:
+            return None
+        return values[-1] - values[0]

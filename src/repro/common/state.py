@@ -1,0 +1,69 @@
+"""State serialisation for adaptive structures.
+
+Long traces train slowly in Python; persisting warm predictor and
+estimator state lets experiments resume, ship calibrated snapshots, and
+compare cold vs warm behaviour.  Structures expose plain-dict state
+(numpy arrays + scalars); this module packs those dicts into ``.npz``
+files with a schema tag so mismatched geometries fail loudly rather
+than silently misbehave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["save_state", "load_state", "StateError"]
+
+_FORMAT_KEY = "__state_format__"
+_FORMAT_VERSION = 1
+
+
+class StateError(RuntimeError):
+    """Raised when a state file is missing keys or mismatches geometry."""
+
+
+def save_state(path: str, kind: str, state: Dict[str, np.ndarray]) -> None:
+    """Write a state dict to ``path`` (.npz).
+
+    Args:
+        path: Output filename.
+        kind: Structure tag, e.g. ``"perceptron_estimator"`` -- checked
+            at load time.
+        state: Mapping of field name to array/scalar.
+    """
+    payload = {
+        _FORMAT_KEY: np.array([_FORMAT_VERSION]),
+        "__kind__": np.array(kind),
+    }
+    for key, value in state.items():
+        if key.startswith("__"):
+            raise ValueError(f"reserved state key {key!r}")
+        payload[key] = np.asarray(value)
+    np.savez_compressed(path, **payload)
+
+
+def load_state(path: str, kind: str) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`.
+
+    Raises :class:`StateError` on version or kind mismatch.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        if _FORMAT_KEY not in data:
+            raise StateError(f"{path}: not a repro state file")
+        version = int(data[_FORMAT_KEY][0])
+        if version != _FORMAT_VERSION:
+            raise StateError(
+                f"{path}: state format {version}, expected {_FORMAT_VERSION}"
+            )
+        found_kind = str(data["__kind__"])
+        if found_kind != kind:
+            raise StateError(
+                f"{path}: holds {found_kind!r} state, expected {kind!r}"
+            )
+        return {
+            key: data[key]
+            for key in data.files
+            if not key.startswith("__")
+        }

@@ -1,0 +1,74 @@
+"""Predictor-agreement confidence estimation.
+
+Grunwald et al. [4] also evaluated *agreement*-based confidence: when a
+hybrid's component predictors agree, the prediction is trustworthy;
+when they disagree, at least one of them is wrong and confidence is
+low.  Unlike JRS or the perceptron this needs **zero extra storage** --
+the signal falls out of the hybrid predictor the machine already has --
+which makes it the natural cost floor between Smith's counters and the
+table-based estimators.
+
+Implemented against :class:`repro.predictors.hybrid.CombinedPredictor`:
+low confidence iff the two components currently disagree about the
+branch (optionally also when the chooser's counter is weak).
+"""
+
+from __future__ import annotations
+
+from repro.core.estimator import ConfidenceEstimator
+from repro.core.types import ConfidenceSignal
+from repro.predictors.hybrid import CombinedPredictor
+
+__all__ = ["ComponentAgreementEstimator"]
+
+
+class ComponentAgreementEstimator(ConfidenceEstimator):
+    """Low confidence when the hybrid's components disagree.
+
+    Args:
+        hybrid: The live combined predictor whose components are read.
+            Must be the same instance the front-end predicts with, so
+            the agreement reflects the actual prediction state.
+        require_strong_chooser: Additionally require the component
+            hints (saturating-counter strength) to be strong for a
+            high-confidence verdict; raises coverage at some accuracy
+            cost.
+    """
+
+    def __init__(
+        self,
+        hybrid: CombinedPredictor,
+        require_strong_chooser: bool = False,
+    ):
+        if not isinstance(hybrid, CombinedPredictor):
+            raise TypeError(
+                "ComponentAgreementEstimator needs a CombinedPredictor, got "
+                f"{type(hybrid).__name__}"
+            )
+        self.hybrid = hybrid
+        self.require_strong_chooser = require_strong_chooser
+        self.name = "component-agreement"
+
+    def estimate(self, pc: int, prediction: bool) -> ConfidenceSignal:
+        pred_a = self.hybrid.component_a.predict(pc)
+        pred_b = self.hybrid.component_b.predict(pc)
+        agree = pred_a == pred_b
+        # Raw output: +1 disagreement, -1 agreement (sign convention
+        # matches the perceptron: positive = low confidence).
+        if not agree:
+            return ConfidenceSignal.weak_low(1.0)
+        if self.require_strong_chooser:
+            hint = self.hybrid.confidence_hint(pc)
+            if hint is not None and hint < 1.0:
+                return ConfidenceSignal.weak_low(0.0)
+        return ConfidenceSignal.high(-1.0)
+
+    def train(
+        self, pc: int, prediction: bool, correct: bool, signal: ConfidenceSignal
+    ) -> None:
+        # Stateless: the hybrid's own training *is* the adaptation.
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,93 @@
+"""Pipeline gating mechanism (Figure 1).
+
+A low-confidence branch counter tracks how many unresolved
+low-confidence branches are in flight.  When the count reaches the
+configured threshold (the "PLn" parameter of Table 4), the fetch unit
+is gated -- no new instructions enter the pipeline -- until enough of
+those branches resolve.
+
+This module holds the mechanism's state machine; the timing
+consequences (stall cycles, avoided wrong-path uops) are modelled by
+:mod:`repro.pipeline.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GatingConfig", "LowConfidenceCounter"]
+
+
+@dataclass(frozen=True)
+class GatingConfig:
+    """Configuration of the gating mechanism.
+
+    Attributes:
+        branch_counter_threshold: Number of unresolved low-confidence
+            branches needed to stall fetch (PL1/PL2/PL3 in Table 4).
+            The paper uses 1 for the perceptron estimator and 1-3 for
+            JRS, whose lower PVN needs corroboration from multiple
+            low-confidence branches before stalling pays off.
+        estimator_latency: Cycles between fetching a branch and its
+            confidence estimate being available (Section 5.4.2
+            evaluates a 9-cycle pipelined perceptron against an ideal
+            1-cycle estimator).  Until the estimate arrives the branch
+            cannot contribute to the counter, so gating engages late by
+            this many cycles.
+    """
+
+    branch_counter_threshold: int = 1
+    estimator_latency: int = 1
+
+    def __post_init__(self):
+        if self.branch_counter_threshold < 1:
+            raise ValueError(
+                "branch_counter_threshold must be >= 1, got "
+                f"{self.branch_counter_threshold}"
+            )
+        if self.estimator_latency < 0:
+            raise ValueError(
+                f"estimator_latency must be >= 0, got {self.estimator_latency}"
+            )
+
+
+class LowConfidenceCounter:
+    """The unresolved low-confidence branch counter of Figure 1."""
+
+    def __init__(self, threshold: int = 1):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self._threshold = threshold
+        self._count = 0
+
+    @property
+    def threshold(self) -> int:
+        """Count at which fetch is stalled."""
+        return self._threshold
+
+    @property
+    def count(self) -> int:
+        """Unresolved low-confidence branches currently in flight."""
+        return self._count
+
+    def on_fetch(self, low_confidence: bool) -> None:
+        """Account a newly fetched branch's confidence estimate."""
+        if low_confidence:
+            self._count += 1
+
+    def on_resolve(self, low_confidence: bool) -> None:
+        """Account a resolving branch leaving the pipeline."""
+        if low_confidence:
+            if self._count == 0:
+                raise RuntimeError(
+                    "low-confidence counter underflow: resolve without fetch"
+                )
+            self._count -= 1
+
+    def should_gate(self) -> bool:
+        """True when fetch must stall (count at or above threshold)."""
+        return self._count >= self._threshold
+
+    def flush(self) -> None:
+        """Clear the counter (pipeline flush on misprediction recovery)."""
+        self._count = 0

@@ -1,0 +1,97 @@
+"""Tyson pattern-history confidence estimator (Section 2.3).
+
+Tyson et al. [15] classify confidence from the branch's *local* history
+pattern in a PAs predictor: a fixed set of "reliable" patterns (all
+taken, all not-taken, and near-saturated variants) are high confidence,
+everything else is low confidence.  The paper cites [4]'s result that
+this is less accurate than enhanced JRS; it is implemented here to
+complete the prior-work estimator family.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.common.bits import mask, popcount
+from repro.core.estimator import ConfidenceEstimator
+from repro.core.types import ConfidenceSignal
+from repro.predictors.local import LocalPredictor
+
+__all__ = ["PatternEstimator", "default_high_confidence_patterns"]
+
+
+def default_high_confidence_patterns(
+    history_length: int, max_flips: int = 1
+) -> FrozenSet[int]:
+    """The "almost always taken / not-taken" pattern set.
+
+    Returns every local pattern whose population count is within
+    ``max_flips`` of all-zeros or all-ones -- i.e. at most ``max_flips``
+    outcomes disagree with the dominant direction across the local
+    history window.
+    """
+    if history_length <= 0 or history_length > 24:
+        raise ValueError(f"history_length must be in [1, 24], got {history_length}")
+    if max_flips < 0:
+        raise ValueError(f"max_flips must be non-negative, got {max_flips}")
+    all_ones = mask(history_length)
+    patterns = set()
+    for value in range(all_ones + 1):
+        ones = popcount(value)
+        if ones <= max_flips or (history_length - ones) <= max_flips:
+            patterns.add(value)
+    return frozenset(patterns)
+
+
+class PatternEstimator(ConfidenceEstimator):
+    """High confidence iff the local pattern is in a trusted set.
+
+    Args:
+        local_predictor: PAs substrate providing per-branch patterns.
+        high_patterns: Explicit trusted-pattern set; defaults to the
+            almost-always-taken/not-taken family.
+    """
+
+    def __init__(
+        self,
+        local_predictor: LocalPredictor,
+        high_patterns: Optional[Iterable[int]] = None,
+    ):
+        self.local_predictor = local_predictor
+        length = local_predictor.history_length
+        if high_patterns is None:
+            self._high_patterns = default_high_confidence_patterns(length)
+        else:
+            limit = mask(length)
+            patterns = frozenset(int(p) for p in high_patterns)
+            for p in patterns:
+                if not 0 <= p <= limit:
+                    raise ValueError(
+                        f"pattern {p:#x} exceeds {length}-bit local history"
+                    )
+            self._high_patterns = patterns
+        self.name = f"pattern@{local_predictor.name}"
+
+    @property
+    def high_patterns(self) -> FrozenSet[int]:
+        """The trusted (high-confidence) local pattern set."""
+        return self._high_patterns
+
+    def estimate(self, pc: int, prediction: bool) -> ConfidenceSignal:
+        pattern = self.local_predictor.local_pattern(pc)
+        if pattern in self._high_patterns:
+            return ConfidenceSignal.high(float(pattern))
+        return ConfidenceSignal.weak_low(float(pattern))
+
+    def train(
+        self, pc: int, prediction: bool, correct: bool, signal: ConfidenceSignal
+    ) -> None:
+        # Pattern confidence is derived entirely from the local
+        # predictor's histories, which train through the predictor path.
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        # The pattern set is combinational logic; the local histories
+        # belong to the predictor and are not double-counted here.
+        return 0

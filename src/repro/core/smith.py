@@ -1,0 +1,67 @@
+"""Smith self-confidence estimator (Section 2.3).
+
+Smith [13] observed that a branch predictor's own saturating counters
+carry confidence information: a counter at (or near) its rails has
+survived many consistent outcomes, while one near the midpoint has
+recently wavered.  This estimator requires no storage of its own -- it
+reads the baseline predictor's counter strength via
+:meth:`repro.predictors.base.BranchPredictor.confidence_hint` and flags
+low confidence when the strength falls below a threshold.
+
+Grunwald et al. [4] showed this performs worse than enhanced JRS; it is
+included here as the zero-cost baseline of the estimator family.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimator import ConfidenceEstimator
+from repro.core.types import ConfidenceSignal
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["SmithEstimator"]
+
+
+class SmithEstimator(ConfidenceEstimator):
+    """Confidence from the predictor's own counter strength.
+
+    Args:
+        predictor: The baseline predictor whose counters are consulted.
+        strength_threshold: Normalised counter strength (in [0, 1])
+            below which the branch is flagged low confidence.  With
+            2-bit counters, any threshold in (1/3, 1] reproduces the
+            classic "weak states are low confidence" rule.
+    """
+
+    def __init__(self, predictor: BranchPredictor, strength_threshold: float = 0.9):
+        if not 0.0 < strength_threshold <= 1.0:
+            raise ValueError(
+                f"strength_threshold must be in (0, 1], got {strength_threshold}"
+            )
+        probe = predictor.confidence_hint(0)
+        if probe is None:
+            raise TypeError(
+                f"predictor {predictor.name!r} exposes no counter strength; "
+                "the Smith estimator needs a counter-based predictor"
+            )
+        self.predictor = predictor
+        self.strength_threshold = strength_threshold
+        self.name = f"smith@{predictor.name}"
+
+    def estimate(self, pc: int, prediction: bool) -> ConfidenceSignal:
+        strength = self.predictor.confidence_hint(pc)
+        if strength is None:  # pragma: no cover - guarded in __init__
+            raise RuntimeError("predictor stopped exposing counter strength")
+        if strength >= self.strength_threshold:
+            return ConfidenceSignal.high(strength)
+        return ConfidenceSignal.weak_low(strength)
+
+    def train(
+        self, pc: int, prediction: bool, correct: bool, signal: ConfidenceSignal
+    ) -> None:
+        # Stateless by design: the predictor's own training *is* the
+        # confidence training.
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,77 @@
+"""Confidence signal types.
+
+A confidence estimator classifies each predicted branch as high or low
+confidence.  The paper's perceptron estimator additionally exposes its
+raw multi-valued output, which enables the strongly/weakly low
+confident sub-classification of Section 5.5 -- captured here by
+:class:`ConfidenceLevel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ConfidenceLevel", "ConfidenceSignal"]
+
+
+class ConfidenceLevel(enum.Enum):
+    """Three-way confidence classification (Section 5.5).
+
+    Binary estimators (JRS, Smith, pattern) only ever produce ``HIGH``
+    or ``WEAK_LOW``; the perceptron estimator's multi-valued output also
+    enables ``STRONG_LOW`` -- the region where mispredictions outnumber
+    correct predictions and reversal is profitable.
+    """
+
+    HIGH = "high"
+    WEAK_LOW = "weak_low"
+    STRONG_LOW = "strong_low"
+
+    @property
+    def is_low(self) -> bool:
+        """True for either low-confidence level."""
+        return self is not ConfidenceLevel.HIGH
+
+
+@dataclass(frozen=True)
+class ConfidenceSignal:
+    """One confidence estimate for one predicted branch.
+
+    Attributes:
+        low_confidence: The binary low/high classification at the
+            estimator's configured threshold (the "negative test" of
+            the Section 2.2 metrics).
+        raw: The estimator's raw output -- perceptron dot product, or
+            miss-distance counter value for JRS.  Multi-valued
+            estimators expose the full range so policies can apply
+            secondary thresholds.
+        level: Three-way classification used by combined
+            gating/reversal policies.
+    """
+
+    low_confidence: bool
+    raw: float
+    level: ConfidenceLevel
+
+    def __post_init__(self):
+        if self.low_confidence != self.level.is_low:
+            raise ValueError(
+                f"inconsistent signal: low_confidence={self.low_confidence} "
+                f"but level={self.level}"
+            )
+
+    @classmethod
+    def high(cls, raw: float) -> "ConfidenceSignal":
+        """Convenience constructor for a high-confidence signal."""
+        return cls(False, raw, ConfidenceLevel.HIGH)
+
+    @classmethod
+    def weak_low(cls, raw: float) -> "ConfidenceSignal":
+        """Convenience constructor for a weakly-low-confidence signal."""
+        return cls(True, raw, ConfidenceLevel.WEAK_LOW)
+
+    @classmethod
+    def strong_low(cls, raw: float) -> "ConfidenceSignal":
+        """Convenience constructor for a strongly-low-confidence signal."""
+        return cls(True, raw, ConfidenceLevel.STRONG_LOW)

@@ -1,0 +1,117 @@
+"""Ablation: fusing the perceptron and JRS estimators.
+
+The Table 3 plane has JRS in the high-coverage corner and the
+perceptron in the high-accuracy corner.  This extension measures where
+boolean fusions and a cascade land:
+
+- ``intersection``: flag only when both agree -> accuracy above either
+  component (fewer, better flags);
+- ``union``: flag when either flags -> coverage above either component;
+- ``cascade``: perceptron decides unless its output is near the
+  threshold, then JRS's flag is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.analysis.tables import format_table
+from repro.core.combined_estimator import AgreementEstimator, CascadeEstimator
+from repro.core.jrs import JRSEstimator
+from repro.core.metrics import ConfidenceMatrix
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    replay_benchmark,
+)
+
+__all__ = ["FusionRow", "CombinedAblationResult", "run"]
+
+
+def _make_perceptron():
+    return PerceptronConfidenceEstimator(threshold=0)
+
+
+def _make_jrs():
+    return JRSEstimator(threshold=7)
+
+
+def _candidates() -> List:
+    """(label, estimator factory) for every fusion point."""
+    return [
+        ("perceptron", _make_perceptron),
+        ("enhanced JRS", _make_jrs),
+        (
+            "intersection",
+            lambda: AgreementEstimator(
+                _make_perceptron(), _make_jrs(), mode="intersection"
+            ),
+        ),
+        (
+            "union",
+            lambda: AgreementEstimator(
+                _make_perceptron(), _make_jrs(), mode="union"
+            ),
+        ),
+        (
+            "cascade",
+            lambda: CascadeEstimator(
+                _make_perceptron(), _make_jrs(), neutral_band=40.0
+            ),
+        ),
+    ]
+
+
+@dataclass
+class FusionRow:
+    """One fusion's aggregate confidence metrics."""
+
+    label: str
+    matrix: ConfidenceMatrix
+
+    def as_dict(self) -> dict:
+        return {
+            "estimator": self.label,
+            "PVN %": round(100 * self.matrix.pvn, 1),
+            "Spec %": round(100 * self.matrix.spec, 1),
+            "flagged %": round(
+                100 * self.matrix.flagged_low / max(self.matrix.total, 1), 2
+            ),
+        }
+
+
+@dataclass
+class CombinedAblationResult:
+    """All fusion points on the accuracy/coverage plane."""
+
+    rows: List[FusionRow]
+
+    def row(self, label: str) -> FusionRow:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(label)
+
+    def format(self) -> str:
+        return format_table(
+            [r.as_dict() for r in self.rows],
+            title="Estimator fusion ablation (extension)",
+        )
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> CombinedAblationResult:
+    """Measure each fusion over the configured benchmarks."""
+    rows: List[FusionRow] = []
+    for label, factory in _candidates():
+        total = ConfidenceMatrix()
+        for name in settings.benchmarks:
+            _, frontend = replay_benchmark(
+                name, settings, make_estimator=factory
+            )
+            total = total.merge(frontend.metrics.overall)
+        rows.append(FusionRow(label=label, matrix=total))
+    return CombinedAblationResult(rows=rows)

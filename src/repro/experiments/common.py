@@ -1,0 +1,144 @@
+"""Shared experiment infrastructure.
+
+All experiments replay the same benchmark traces through (predictor,
+estimator) pairs and feed the resulting event streams into policies and
+pipeline models.  This module centralises:
+
+- :class:`ExperimentSettings` -- trace length, warm-up and seed used by
+  every experiment (the paper runs 30M-instruction traces with 10M
+  warm-up; we default to 150k branches with a one-third warm-up, scaled
+  down for pytest-benchmark runs);
+- trace caching, so the twelve benchmark traces are generated once per
+  process;
+- :func:`replay_benchmark` -- one front-end replay producing the event
+  list that :func:`repro.core.frontend.apply_policy` and the pipeline
+  simulator can then reuse across policies and machine configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import ConfidenceEstimator
+from repro.core.frontend import FrontEnd, FrontEndEvent, FrontEndResult
+from repro.core.reversal import NoSpeculationControl, SpeculationPolicy
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.simulator import PipelineSimulator
+from repro.pipeline.stats import SimStats
+from repro.predictors.base import BranchPredictor
+from repro.predictors.hybrid import make_baseline_hybrid
+from repro.trace.benchmarks import BENCHMARK_NAMES, generate_benchmark_trace
+from repro.trace.record import Trace
+
+__all__ = [
+    "ExperimentSettings",
+    "DEFAULT_SETTINGS",
+    "BENCH_SETTINGS",
+    "get_trace",
+    "replay_benchmark",
+    "simulate_events",
+    "weighted_average",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Workload sizing shared by all experiments.
+
+    Attributes:
+        n_branches: Dynamic branches per benchmark trace.
+        warmup: Leading branches that train structures but are excluded
+            from metrics and timing (paper: one third of the trace).
+        seed: Root seed; every trace and jitter stream derives from it.
+        benchmarks: Benchmarks to include (default: all twelve).
+    """
+
+    n_branches: int = 150_000
+    warmup: int = 50_000
+    seed: int = 1
+    benchmarks: Tuple[str, ...] = BENCHMARK_NAMES
+
+    def __post_init__(self):
+        if self.n_branches <= 0:
+            raise ValueError(f"n_branches must be positive, got {self.n_branches}")
+        if not 0 <= self.warmup < self.n_branches:
+            raise ValueError(
+                f"warmup must be in [0, n_branches), got {self.warmup}"
+            )
+        unknown = set(self.benchmarks) - set(BENCHMARK_NAMES)
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
+
+    def scaled(self, factor: float) -> "ExperimentSettings":
+        """Proportionally smaller/larger copy (for quick runs)."""
+        return replace(
+            self,
+            n_branches=max(1000, int(self.n_branches * factor)),
+            warmup=max(300, int(self.warmup * factor)),
+        )
+
+
+#: Full-size experiment runs (EXPERIMENTS.md numbers).
+DEFAULT_SETTINGS = ExperimentSettings()
+
+#: Reduced sizing used by the pytest-benchmark harness.
+BENCH_SETTINGS = ExperimentSettings(
+    n_branches=24_000, warmup=8_000, benchmarks=BENCHMARK_NAMES
+)
+
+
+@lru_cache(maxsize=64)
+def get_trace(name: str, n_branches: int, seed: int) -> Trace:
+    """Generate (and cache) one benchmark trace."""
+    return generate_benchmark_trace(name, n_branches=n_branches, seed=seed)
+
+
+def replay_benchmark(
+    name: str,
+    settings: ExperimentSettings,
+    make_estimator: Callable[[], ConfidenceEstimator],
+    policy: Optional[SpeculationPolicy] = None,
+    make_predictor: Callable[[], BranchPredictor] = make_baseline_hybrid,
+    collect_outputs: bool = False,
+) -> Tuple[List[FrontEndEvent], FrontEndResult]:
+    """One full front-end replay of a benchmark.
+
+    Returns the post-warm-up event list (reusable across policies via
+    :func:`repro.core.frontend.apply_policy` and across pipeline
+    configurations) plus the aggregated front-end result.
+    """
+    trace = get_trace(name, settings.n_branches, settings.seed)
+    frontend = FrontEnd(
+        make_predictor(),
+        make_estimator(),
+        policy if policy is not None else NoSpeculationControl(),
+        collect_outputs=collect_outputs,
+    )
+    result = FrontEndResult()
+    events: List[FrontEndEvent] = []
+    for i, record in enumerate(trace):
+        event = frontend.process(record)
+        if i < settings.warmup:
+            continue
+        frontend.aggregate(result, event)
+        events.append(event)
+    return events, result
+
+
+def simulate_events(
+    events: Sequence[FrontEndEvent], config: PipelineConfig
+) -> SimStats:
+    """Run the pipeline model over a prepared event stream."""
+    return PipelineSimulator(config).simulate(iter(events))
+
+
+def weighted_average(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted mean (the paper's per-benchmark weighted averages)."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    total = sum(weights)
+    if total == 0:
+        return 0.0
+    return sum(v * w for v, w in zip(values, weights)) / total

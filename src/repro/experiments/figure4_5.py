@@ -1,0 +1,123 @@
+"""Figures 4 and 5: perceptron_cic output density functions (gcc).
+
+Figure 4 plots the density of the cic-trained perceptron's output for
+correctly predicted (CB) and mispredicted (MB) branches over the full
+output range; Figure 5 zooms into [-70, 200] and identifies three
+regions: output > ~30 where MB dominates (reversal territory), a middle
+band where the MB:CB ratio is high enough for gating, and the
+high-confidence bulk below.
+
+Paper shape: CB mass clusters around a negative value (about -130 in
+the paper); MB mass sits far to the right with a tail into positive
+outputs; a crossover output exists above which MB > CB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.density import OutputDensity, RegionSummary
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    replay_benchmark,
+)
+
+__all__ = ["DensityResult", "run"]
+
+#: The paper plots gcc; other benchmarks "show similar behavior".
+DEFAULT_BENCHMARK = "gcc"
+
+#: Figure 5's zoom window.
+ZOOM_RANGE = (-70.0, 200.0)
+
+
+@dataclass
+class DensityResult:
+    """Density data for one training scheme on one benchmark."""
+
+    benchmark: str
+    scheme: str
+    density: OutputDensity
+    regions: Tuple[RegionSummary, RegionSummary, RegionSummary]
+    crossover: Optional[float]
+
+    @property
+    def cb_median(self) -> float:
+        return float(np.median(self.density.correct_outputs))
+
+    @property
+    def mb_median(self) -> float:
+        return float(np.median(self.density.mispredicted_outputs))
+
+    @property
+    def separation(self) -> float:
+        """MB median minus CB median -- positive means separable."""
+        return self.mb_median - self.cb_median
+
+    def histogram(self, bins: int = 60, zoom: bool = False):
+        """Figure 4 (full) or Figure 5 (zoom) histogram arrays."""
+        value_range = ZOOM_RANGE if zoom else None
+        return self.density.histogram(bins=bins, value_range=value_range)
+
+    def format(self) -> str:
+        reversal, gating, high = self.regions
+        lines = [
+            f"Figure 4/5 ({self.scheme}, {self.benchmark}): "
+            f"perceptron output density",
+            f"  CB median {self.cb_median:8.1f}   "
+            f"MB median {self.mb_median:8.1f}   "
+            f"separation {self.separation:8.1f}",
+            f"  crossover (MB>CB) at output ~ {self.crossover}",
+            f"  region y>{reversal.low:g}: CB={reversal.correct} "
+            f"MB={reversal.mispredicted} "
+            f"(MB dominates: {reversal.mb_dominates})",
+            f"  region {gating.low:g}..{gating.high:g}: CB={gating.correct} "
+            f"MB={gating.mispredicted} "
+            f"(MB fraction {gating.mispredict_fraction:.2f})",
+            f"  region y<{high.high:g}: CB={high.correct} "
+            f"MB={high.mispredicted} "
+            f"(MB fraction {high.mispredict_fraction:.3f})",
+        ]
+        return "\n".join(lines)
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    benchmark: str = DEFAULT_BENCHMARK,
+    mode: str = "cic",
+    reverse_threshold: float = 30.0,
+    gate_threshold: float = -30.0,
+) -> DensityResult:
+    """Collect the output density for one perceptron training scheme.
+
+    ``mode="cic"`` reproduces Figures 4/5; :mod:`figure6_7` calls this
+    with ``mode="tnt"``.
+    """
+    # Thresholds here only affect classification bookkeeping, not the
+    # recorded raw outputs; use the paper's lambda=0 (cic) and a
+    # conventional magnitude threshold (tnt).
+    threshold = 0.0 if mode == "cic" else 30.0
+    _, frontend = replay_benchmark(
+        benchmark,
+        settings,
+        make_estimator=lambda: PerceptronConfidenceEstimator(
+            threshold=threshold, mode=mode
+        ),
+        collect_outputs=True,
+    )
+    density = OutputDensity.from_frontend_result(frontend)
+    regions = density.three_regions(
+        reverse_threshold=reverse_threshold, gate_threshold=gate_threshold
+    )
+    return DensityResult(
+        benchmark=benchmark,
+        scheme=f"perceptron_{mode}",
+        density=density,
+        regions=regions,
+        crossover=density.crossover_output(),
+    )

@@ -1,0 +1,76 @@
+"""Figures 6 and 7: perceptron_tnt output density functions (gcc).
+
+The same density analysis as Figures 4/5, but for a perceptron trained
+on taken/not-taken direction (the Jimenez-Lin confidence suggestion of
+Section 5.3).  The output now encodes *direction*, so low confidence is
+read from the output's proximity to zero.
+
+Paper shape: correctly predicted branches outnumber mispredicted ones
+at **every** output value, including near zero -- there is no region
+where MB dominates, hence no reversal opportunity, and for matched
+coverage the PVN is far below perceptron_cic.  The reproduction's
+assertion of that shape is ``crossover is None`` plus a near-zero
+MB fraction everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.density import OutputDensity
+from repro.experiments import figure4_5
+from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
+
+__all__ = ["TntDensityResult", "run", "ZOOM_RANGE"]
+
+#: Figure 7's zoom window.
+ZOOM_RANGE = (-50.0, 50.0)
+
+
+@dataclass
+class TntDensityResult:
+    """Density data plus the tnt-specific near-zero analysis."""
+
+    benchmark: str
+    density: OutputDensity
+    crossover: Optional[float]
+    near_zero_mb_fraction: float
+
+    @property
+    def mb_never_dominates(self) -> bool:
+        """The paper's key observation for tnt training."""
+        edges, cb, mb = self.density.histogram(bins=80)
+        occupied = (cb + mb) > 20  # ignore sparse tail bins
+        return bool(np.all(mb[occupied] <= cb[occupied]))
+
+    def format(self) -> str:
+        return "\n".join(
+            [
+                f"Figure 6/7 (perceptron_tnt, {self.benchmark}): "
+                f"direction-output density",
+                f"  MB never dominates any occupied bin: "
+                f"{self.mb_never_dominates}",
+                f"  MB fraction in |y| <= {ZOOM_RANGE[1]:g}: "
+                f"{self.near_zero_mb_fraction:.2f}",
+                f"  crossover: {self.crossover} (paper: none exists)",
+            ]
+        )
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    benchmark: str = figure4_5.DEFAULT_BENCHMARK,
+) -> TntDensityResult:
+    """Collect the tnt-trained output density (Figures 6/7)."""
+    cic_style = figure4_5.run(settings, benchmark=benchmark, mode="tnt")
+    density = cic_style.density
+    near_zero = density.region(ZOOM_RANGE[0], ZOOM_RANGE[1])
+    return TntDensityResult(
+        benchmark=benchmark,
+        density=density,
+        crossover=density.crossover_output(),
+        near_zero_mb_fraction=near_zero.mispredict_fraction,
+    )

@@ -1,0 +1,181 @@
+"""Table 4: pipeline gating with JRS vs perceptron estimators.
+
+For the 40-cycle baseline pipeline: average reduction in total uops
+executed (U) and performance loss (P) across benchmarks, for the JRS
+estimator at lambda in {3, 7, 11, 15} x branch-counter thresholds PL1-3,
+and the perceptron estimator at lambda in {25, 0, -25, -50} with PL1.
+
+Paper shape: the perceptron dominates the U-vs-P frontier -- e.g. 8%
+uop reduction at ~0% performance loss (lambda=25), while JRS cannot
+achieve any significant reduction without measurable loss; at matched U
+(perceptron lambda=-50 ~ JRS lambda=7/PL2) the perceptron loses 3x less
+performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.core.estimator import AlwaysHighEstimator
+from repro.core.frontend import apply_policy
+from repro.core.jrs import JRSEstimator
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.core.reversal import GatingOnlyPolicy
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    replay_benchmark,
+    simulate_events,
+)
+from repro.pipeline.config import BASELINE_40X4, PipelineConfig
+
+__all__ = ["GatingCell", "Table4Result", "run"]
+
+JRS_THRESHOLDS = (3, 7, 11, 15)
+PERCEPTRON_THRESHOLDS = (25, 0, -25, -50)
+BRANCH_COUNTER_THRESHOLDS = (1, 2, 3)
+
+#: Paper-reported (U, P) for reference columns.
+PAPER_JRS = {
+    (3, 1): (26, 17), (7, 1): (29, 25), (11, 1): (31, 29), (15, 1): (31, 32),
+    (3, 2): (14, 4), (7, 2): (19, 9), (11, 2): (21, 12), (15, 2): (22, 14),
+    (3, 3): (9, 2), (7, 3): (13, 4), (11, 3): (14, 5), (15, 3): (15, 7),
+}
+PAPER_PERCEPTRON = {
+    (25, 1): (8, 0), (0, 1): (11, 1), (-25, 1): (14, 2), (-50, 1): (18, 3),
+}
+
+
+@dataclass
+class GatingCell:
+    """One (estimator, lambda, PL) cell of Table 4, averaged over benchmarks."""
+
+    estimator: str
+    threshold: float
+    counter_threshold: int
+    uop_reduction_pct: float
+    performance_loss_pct: float
+    paper: Optional[Tuple[float, float]] = None
+
+    def as_dict(self) -> dict:
+        row = {
+            "estimator": self.estimator,
+            "lambda": self.threshold,
+            "PL": self.counter_threshold,
+            "U %": round(self.uop_reduction_pct, 1),
+            "P %": round(self.performance_loss_pct, 1),
+        }
+        if self.paper is not None:
+            row["paper U"], row["paper P"] = self.paper
+        return row
+
+
+@dataclass
+class Table4Result:
+    """All gating cells plus per-benchmark detail."""
+
+    cells: List[GatingCell]
+    per_benchmark: Dict[str, List[GatingCell]]
+
+    def cell(self, estimator: str, threshold: float, pl: int) -> GatingCell:
+        for c in self.cells:
+            if (
+                c.estimator == estimator
+                and c.threshold == threshold
+                and c.counter_threshold == pl
+            ):
+                return c
+        raise KeyError((estimator, threshold, pl))
+
+    def format(self) -> str:
+        return format_table(
+            [c.as_dict() for c in self.cells],
+            title=(
+                "Table 4: pipeline gating, 40-cycle pipeline "
+                "(U = uop reduction, P = performance loss, averages)"
+            ),
+        )
+
+
+def _average(cells_by_benchmark: List[Tuple[float, float]]) -> Tuple[float, float]:
+    n = len(cells_by_benchmark)
+    u = sum(c[0] for c in cells_by_benchmark) / n
+    p = sum(c[1] for c in cells_by_benchmark) / n
+    return u, p
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    config: PipelineConfig = BASELINE_40X4,
+) -> Table4Result:
+    """Reproduce Table 4.
+
+    Per benchmark, the ungated baseline is replayed once; each
+    estimator threshold is replayed once and its event stream reused
+    across branch-counter thresholds (the PL knob lives in the pipeline
+    configuration, not the front-end).
+    """
+    policy = GatingOnlyPolicy()
+    # (estimator, lambda, PL) -> list over benchmarks of (U, P)
+    samples: Dict[Tuple[str, float, int], List[Tuple[float, float]]] = {}
+    per_benchmark: Dict[str, List[GatingCell]] = {}
+
+    for name in settings.benchmarks:
+        base_events, _ = replay_benchmark(
+            name, settings, make_estimator=AlwaysHighEstimator
+        )
+        base = simulate_events(base_events, config)
+        bench_cells: List[GatingCell] = []
+
+        def record(estimator: str, lam: float, pl: int, stats) -> None:
+            u = 100.0 * (
+                base.total_uops_executed - stats.total_uops_executed
+            ) / base.total_uops_executed
+            p = 100.0 * (stats.total_cycles - base.total_cycles) / base.total_cycles
+            samples.setdefault((estimator, lam, pl), []).append((u, p))
+            bench_cells.append(
+                GatingCell(estimator, lam, pl, u, p)
+            )
+
+        for lam in JRS_THRESHOLDS:
+            events, _ = replay_benchmark(
+                name,
+                settings,
+                make_estimator=lambda l=lam: JRSEstimator(threshold=l),
+                policy=policy,
+            )
+            for pl in BRANCH_COUNTER_THRESHOLDS:
+                stats = simulate_events(events, config.with_gating(pl))
+                record("JRS", lam, pl, stats)
+
+        for lam in PERCEPTRON_THRESHOLDS:
+            events, _ = replay_benchmark(
+                name,
+                settings,
+                make_estimator=lambda l=lam: PerceptronConfidenceEstimator(
+                    threshold=l
+                ),
+                policy=policy,
+            )
+            stats = simulate_events(events, config.with_gating(1))
+            record("perceptron", lam, 1, stats)
+
+        per_benchmark[name] = bench_cells
+
+    cells: List[GatingCell] = []
+    for lam in JRS_THRESHOLDS:
+        for pl in BRANCH_COUNTER_THRESHOLDS:
+            u, p = _average(samples[("JRS", lam, pl)])
+            cells.append(
+                GatingCell("JRS", lam, pl, u, p, paper=PAPER_JRS[(lam, pl)])
+            )
+    for lam in PERCEPTRON_THRESHOLDS:
+        u, p = _average(samples[("perceptron", lam, 1)])
+        cells.append(
+            GatingCell(
+                "perceptron", lam, 1, u, p, paper=PAPER_PERCEPTRON[(lam, 1)]
+            )
+        )
+    return Table4Result(cells=cells, per_benchmark=per_benchmark)

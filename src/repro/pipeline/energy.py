@@ -1,0 +1,96 @@
+"""Energy accounting for speculation control.
+
+Pipeline gating was originally proposed for *energy* reduction (Manne
+et al. [10]); the paper measures uops executed as the energy proxy.
+This module turns simulation statistics into an explicit first-order
+energy model so design points can be compared on energy and
+energy-delay product, not just U and P:
+
+    E = E_dynamic_per_uop * uops_executed
+      + E_estimator_per_branch * branches
+      + P_static * cycles
+
+Wrong-path uops burn full dynamic energy (they execute before the
+squash); the confidence estimator itself costs a per-lookup increment,
+so a design can be charged for its own hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.stats import SimStats
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order energy parameters (arbitrary energy units).
+
+    Attributes:
+        dynamic_per_uop: Energy per uop fetched+executed (correct or
+            wrong path).
+        estimator_per_branch: Energy per confidence-estimator lookup
+            (0 for the ungated baseline; the 4KB perceptron's adder
+            tree costs more than a JRS table read).
+        static_per_cycle: Leakage and clock-tree power per cycle.
+    """
+
+    dynamic_per_uop: float = 1.0
+    estimator_per_branch: float = 0.25
+    static_per_cycle: float = 0.5
+
+    def __post_init__(self):
+        for field_name in ("dynamic_per_uop", "estimator_per_branch",
+                           "static_per_cycle"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+    def evaluate(self, stats: SimStats, estimator_active: bool = True) -> "EnergyReport":
+        """Compute the energy report for one simulated run."""
+        dynamic = self.dynamic_per_uop * stats.total_uops_executed
+        estimator = (
+            self.estimator_per_branch * stats.branches if estimator_active else 0.0
+        )
+        static = self.static_per_cycle * stats.total_cycles
+        return EnergyReport(
+            dynamic=dynamic,
+            estimator=estimator,
+            static=static,
+            cycles=stats.total_cycles,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one run."""
+
+    dynamic: float
+    estimator: float
+    static: float
+    cycles: float
+
+    @property
+    def total(self) -> float:
+        """Total energy."""
+        return self.dynamic + self.estimator + self.static
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP: total energy x execution time."""
+        return self.total * self.cycles
+
+    def savings_vs(self, baseline: "EnergyReport") -> float:
+        """% energy saved relative to a baseline run."""
+        if baseline.total == 0:
+            return 0.0
+        return 100.0 * (baseline.total - self.total) / baseline.total
+
+    def edp_savings_vs(self, baseline: "EnergyReport") -> float:
+        """% EDP improvement relative to a baseline run."""
+        if baseline.energy_delay_product == 0:
+            return 0.0
+        return 100.0 * (
+            baseline.energy_delay_product - self.energy_delay_product
+        ) / baseline.energy_delay_product

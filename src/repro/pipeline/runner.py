@@ -1,0 +1,156 @@
+"""High-level drivers: replay a trace under baseline and policy machines.
+
+Every U/P number in the paper is a comparison of two runs over the same
+workload: an ungated baseline machine, and the same machine with a
+speculation-control policy enabled.  :func:`compare_policies` performs
+exactly that comparison; :func:`run_machine` is the single-machine
+building block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.estimator import AlwaysHighEstimator, ConfidenceEstimator
+from repro.core.frontend import FrontEnd, FrontEndResult
+from repro.core.reversal import NoSpeculationControl, SpeculationPolicy
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.simulator import PipelineSimulator
+from repro.pipeline.stats import SimStats
+from repro.predictors.base import BranchPredictor
+from repro.trace.record import Trace
+
+__all__ = ["MachineRun", "GatingRun", "run_machine", "compare_policies"]
+
+
+@dataclass
+class MachineRun:
+    """Results of one trace replay through one machine."""
+
+    stats: SimStats
+    frontend: FrontEndResult
+
+    @property
+    def total_uops_executed(self) -> float:
+        """Correct-path plus wrong-path uops executed."""
+        return self.stats.total_uops_executed
+
+    @property
+    def cycles(self) -> float:
+        """Total execution time in cycles."""
+        return self.stats.total_cycles
+
+
+@dataclass
+class GatingRun:
+    """A baseline-vs-policy comparison (one Table 4/5 cell)."""
+
+    baseline: MachineRun
+    policy: MachineRun
+
+    @property
+    def uop_reduction_pct(self) -> float:
+        """U: % reduction in total uops executed vs. the baseline."""
+        base = self.baseline.total_uops_executed
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - self.policy.total_uops_executed) / base
+
+    @property
+    def performance_loss_pct(self) -> float:
+        """P: % increase in execution cycles vs. the baseline.
+
+        Negative values are speedups (possible with branch reversal).
+        """
+        base = self.baseline.cycles
+        if base == 0:
+            return 0.0
+        return 100.0 * (self.policy.cycles - base) / base
+
+    @property
+    def speedup_pct(self) -> float:
+        """Speedup (Figure 8/9 convention): negative of the loss."""
+        return -self.performance_loss_pct
+
+    def summary(self) -> dict:
+        """One-line report for experiment tables."""
+        return {
+            "U_pct": round(self.uop_reduction_pct, 2),
+            "P_pct": round(self.performance_loss_pct, 2),
+            "baseline_uops": round(self.baseline.total_uops_executed, 1),
+            "policy_uops": round(self.policy.total_uops_executed, 1),
+            "baseline_cycles": round(self.baseline.cycles, 1),
+            "policy_cycles": round(self.policy.cycles, 1),
+        }
+
+
+def run_machine(
+    trace: Trace,
+    predictor: BranchPredictor,
+    estimator: ConfidenceEstimator,
+    policy: SpeculationPolicy,
+    config: PipelineConfig,
+    warmup: int = 0,
+    collect_outputs: bool = False,
+) -> MachineRun:
+    """Replay ``trace`` through one machine configuration.
+
+    The first ``warmup`` branches train the predictor and estimator but
+    are excluded from both the timing model and the confidence metrics
+    (mirroring the paper's 10M-instruction warm-up).
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    frontend = FrontEnd(
+        predictor, estimator, policy, collect_outputs=collect_outputs
+    )
+    simulator = PipelineSimulator(config)
+    result = FrontEndResult()
+
+    def measured_events():
+        for i, record in enumerate(trace):
+            event = frontend.process(record)
+            if i < warmup:
+                continue
+            frontend._aggregate(result, event)
+            yield event
+
+    stats = simulator.simulate(measured_events())
+    return MachineRun(stats=stats, frontend=result)
+
+
+def compare_policies(
+    trace: Trace,
+    make_predictor: Callable[[], BranchPredictor],
+    make_estimator: Callable[[], ConfidenceEstimator],
+    policy: SpeculationPolicy,
+    config: PipelineConfig,
+    warmup: int = 0,
+    baseline_config: Optional[PipelineConfig] = None,
+) -> GatingRun:
+    """Run the ungated baseline and the policy machine on one trace.
+
+    Both runs use freshly constructed predictors so learning state
+    never leaks between them.  The baseline uses the same pipeline
+    parameters (unless ``baseline_config`` overrides) with no
+    speculation control.
+    """
+    base_cfg = baseline_config if baseline_config is not None else config
+    baseline = run_machine(
+        trace,
+        make_predictor(),
+        AlwaysHighEstimator(),
+        NoSpeculationControl(),
+        base_cfg,
+        warmup=warmup,
+    )
+    with_policy = run_machine(
+        trace,
+        make_predictor(),
+        make_estimator(),
+        policy,
+        config,
+        warmup=warmup,
+    )
+    return GatingRun(baseline=baseline, policy=with_policy)

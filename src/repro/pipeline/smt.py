@@ -1,0 +1,225 @@
+"""SMT fetch-sharing model: speculation control across threads.
+
+The paper's introduction motivates confidence estimation partly through
+SMT: wrong-path execution "consumes resources that could have been
+allocated to useful work, such as another thread" (citing Luo et al.
+[9]).  This module provides that experiment's substrate: a two-thread
+SMT front end with shared fetch bandwidth, where a thread whose
+unresolved low-confidence branch count reaches the gating threshold
+*yields its fetch slots to the other thread* instead of stalling the
+machine.
+
+The model is a small cycle-driven loop (unlike the branch-granularity
+single-thread simulator): per cycle it picks the fetch thread by an
+ICOUNT-like heuristic restricted to non-gated, non-recovering threads,
+streams uops from that thread's event list, and tracks per-thread
+wrong-path episodes.  Throughput is combined correct-path uops per
+cycle, so converting one thread's wrong-path slots into the other
+thread's right-path slots shows up directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.common.bits import mix_hash
+from repro.core.frontend import FrontEndEvent
+from repro.pipeline.config import PipelineConfig
+
+__all__ = ["SmtThreadStats", "SmtStats", "SmtSimulator"]
+
+
+@dataclass
+class SmtThreadStats:
+    """Per-thread accounting."""
+
+    correct_uops: int = 0
+    wrong_path_uops: float = 0.0
+    branches: int = 0
+    mispredictions: int = 0
+    gated_cycles: int = 0
+    recovery_cycles: int = 0
+    finished_at: float = 0.0
+
+
+@dataclass
+class SmtStats:
+    """Combined two-thread results."""
+
+    threads: List[SmtThreadStats] = field(default_factory=list)
+    total_cycles: float = 0.0
+    idle_fetch_cycles: int = 0
+
+    @property
+    def combined_correct_uops(self) -> int:
+        return sum(t.correct_uops for t in self.threads)
+
+    @property
+    def combined_wrong_path_uops(self) -> float:
+        return sum(t.wrong_path_uops for t in self.threads)
+
+    @property
+    def throughput(self) -> float:
+        """Combined correct-path uops per cycle."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.combined_correct_uops / self.total_cycles
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Wrong-path share of all fetched uops."""
+        total = self.combined_correct_uops + self.combined_wrong_path_uops
+        return self.combined_wrong_path_uops / total if total else 0.0
+
+
+class _Thread:
+    """Mutable per-thread simulation state."""
+
+    def __init__(self, events: Sequence[FrontEndEvent], seq_salt: int):
+        self.events = events
+        self.cursor = 0  # next event index
+        self.uops_left = events[0].uops_before + 1 if events else 0
+        self.inflight: List[tuple] = []  # (resolve_cycle, counts_gating)
+        self.lc_count = 0
+        self.recovering_until = -1
+        self.wrong_path_until = -1
+        self.inflight_uops = 0
+        self.stats = SmtThreadStats()
+        self.seq = seq_salt
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.events)
+
+
+class SmtSimulator:
+    """Two-thread SMT fetch model with confidence-directed sharing.
+
+    Args:
+        config: Machine parameters; ``gating_threshold`` is the
+            per-thread low-confidence counter threshold, and
+            ``fetch_width`` the *shared* per-cycle fetch bandwidth.
+        gate_yields: When True (speculation control on), a gated thread
+            yields fetch to its sibling; when False, threads share
+            bandwidth regardless of confidence (the baseline SMT).
+    """
+
+    def __init__(self, config: PipelineConfig, gate_yields: bool = True):
+        self.config = config
+        self.gate_yields = gate_yields
+
+    # -- per-thread helpers -------------------------------------------------
+
+    def _resolve(self, thread: _Thread, cycle: int) -> None:
+        remaining = []
+        for resolve_cycle, counts in thread.inflight:
+            if resolve_cycle <= cycle:
+                if counts:
+                    thread.lc_count -= 1
+            else:
+                remaining.append((resolve_cycle, counts))
+        thread.inflight = remaining
+
+    def _latency(self, thread: _Thread, pc: int) -> int:
+        cfg = self.config
+        if cfg.resolve_jitter == 0:
+            return cfg.depth
+        thread.seq += 1
+        return cfg.depth + mix_hash((pc << 17) ^ thread.seq) % (
+            cfg.resolve_jitter + 1
+        )
+
+    def _fetchable(self, thread: _Thread, cycle: int) -> bool:
+        """Whether a thread may receive fetch slots this cycle.
+
+        Crucially, a thread on the wrong path *is* fetchable -- the
+        machine does not know the branch was mispredicted.  Only the
+        confidence signal (when speculation control is on) can divert
+        its slots to the sibling.
+        """
+        if thread.done:
+            return False
+        if (
+            self.gate_yields
+            and thread.lc_count >= self.config.gating_threshold
+        ):
+            return False
+        return True
+
+    def _fetch_cycle(self, thread: _Thread, cycle: int, budget: int) -> None:
+        """Consume up to ``budget`` fetch slots for one thread."""
+        while budget > 0 and not thread.done:
+            if cycle < thread.wrong_path_until:
+                # Wrong-path fetch: every slot granted is wasted until
+                # the mispredicted branch resolves.
+                thread.stats.wrong_path_uops += budget
+                return
+            take = min(budget, thread.uops_left)
+            thread.uops_left -= take
+            budget -= take
+            thread.stats.correct_uops += take
+            if thread.uops_left > 0:
+                return
+            # The branch at the end of the group is fetched.
+            event = thread.events[thread.cursor]
+            thread.cursor += 1
+            thread.stats.branches += 1
+            resolve_cycle = cycle + self._latency(thread, event.pc)
+            counts = event.decision.counts_toward_gating
+            thread.inflight.append((resolve_cycle, counts))
+            if counts:
+                thread.lc_count += 1
+            if not thread.done:
+                nxt = thread.events[thread.cursor]
+                thread.uops_left = nxt.uops_before + 1
+            if not event.final_correct:
+                thread.stats.mispredictions += 1
+                thread.wrong_path_until = resolve_cycle
+                thread.recovering_until = resolve_cycle
+                return
+
+    # -- main loop -----------------------------------------------------------
+
+    def simulate(
+        self,
+        events_a: Sequence[FrontEndEvent],
+        events_b: Sequence[FrontEndEvent],
+        max_cycles: Optional[int] = None,
+    ) -> SmtStats:
+        """Run both threads to completion; returns combined stats."""
+        cfg = self.config
+        threads = [_Thread(events_a, 0x55AA), _Thread(events_b, 0x1234)]
+        stats = SmtStats(threads=[t.stats for t in threads])
+        limit = max_cycles if max_cycles is not None else 100_000_000
+        cycle = 0
+        # Measure only the window where BOTH threads are live: running to
+        # joint completion would let the shorter stream's tail skew the
+        # combined-throughput comparison (the standard SMT methodology).
+        while cycle < limit and not any(t.done for t in threads):
+            for thread in threads:
+                self._resolve(thread, cycle)
+                if cycle < thread.recovering_until:
+                    thread.stats.recovery_cycles += 1
+                if (
+                    self.gate_yields
+                    and thread.lc_count >= cfg.gating_threshold
+                    and not thread.done
+                ):
+                    thread.stats.gated_cycles += 1
+            # ICOUNT-like choice among fetchable threads: fewest
+            # unresolved branches first.  Deliberately *no* wrong-path
+            # knowledge here -- only the confidence signal (gate_yields)
+            # may divert slots, which is the experiment's point.
+            candidates = [t for t in threads if self._fetchable(t, cycle)]
+            if not candidates:
+                stats.idle_fetch_cycles += 1
+                cycle += 1
+                continue
+            candidates.sort(key=lambda t: len(t.inflight))
+            self._fetch_cycle(candidates[0], cycle, cfg.fetch_width)
+            cycle += 1
+        for thread in threads:
+            thread.stats.finished_at = cycle
+        stats.total_cycles = float(cycle)
+        return stats

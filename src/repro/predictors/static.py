@@ -1,0 +1,44 @@
+"""Trivial static predictors.
+
+Used as degenerate baselines in tests and examples (e.g. to verify the
+confidence metrics behave sensibly when the predictor is maximally
+weak or maximally biased).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["AlwaysTakenPredictor", "AlwaysNotTakenPredictor"]
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predicts taken for every branch; no storage, no learning."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def train(self, pc: int, taken: bool, prediction: bool) -> None:
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0
+
+
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Predicts not-taken for every branch; no storage, no learning."""
+
+    name = "always-not-taken"
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def train(self, pc: int, taken: bool, prediction: bool) -> None:
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0

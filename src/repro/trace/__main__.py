@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.trace``."""
+
+from repro.trace.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,313 @@
+"""Per-static-branch outcome models for synthetic traces.
+
+Real SPECint2000 branch streams mix several predictability regimes, and
+the paper's results hinge on that mixture:
+
+- *biased* branches (error checks, common-case guards) are almost
+  always predicted correctly -> high-confidence population;
+- *history-correlated* branches are learned by gshare/perceptron
+  predictors -> correct once warm;
+- *hidden-correlation* branches depend on history bits beyond the
+  baseline predictor's reach, so the predictor is **systematically**
+  wrong in history-identifiable contexts -- this is the population
+  that makes the perceptron_cic right tail of Figure 5 (output > 30,
+  mispredicts dominate) and branch reversal profitable;
+- *loop* branches mispredict at hard-to-anticipate exits -> clustered,
+  partially identifiable low confidence;
+- *random* (data-dependent) branches mispredict ~min(p, 1-p) of the
+  time with no usable context -> the "weakly low confident" gating
+  population of Figure 5's middle region;
+- *phased* branches change bias over time, defeating slow-adapting
+  counters.
+
+Each behaviour maps (actual global history, RNG) to the next outcome,
+so history-based predictors genuinely have something to learn.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BranchBehavior",
+    "BiasedBehavior",
+    "PatternBehavior",
+    "LoopBehavior",
+    "CorrelatedBehavior",
+    "HiddenCorrelationBehavior",
+    "PhasedBehavior",
+    "RandomBehavior",
+]
+
+
+class BranchBehavior(ABC):
+    """Outcome model for one static branch.
+
+    Subclasses implement :meth:`next_outcome`; behaviours carrying
+    internal state (loops, phases) must also override :meth:`reset` so
+    trace generation is reproducible from a fresh generator.
+    """
+
+    @abstractmethod
+    def next_outcome(self, history: int, rng: np.random.Generator) -> bool:
+        """Produce the next outcome given the *actual* global history.
+
+        ``history`` is an unsigned bit field, bit 0 = most recent
+        resolved branch in the whole program (1 = taken).
+        """
+
+    def reset(self) -> None:
+        """Clear any internal state (default: stateless)."""
+
+    @property
+    def kind(self) -> str:
+        """Short behaviour-class tag used in trace metadata."""
+        return type(self).__name__.replace("Behavior", "").lower()
+
+
+class BiasedBehavior(BranchBehavior):
+    """IID branch taken with probability ``p_taken``.
+
+    With ``p_taken`` near 0 or 1 this models the heavily biased
+    error-check branches that dominate static populations and are
+    essentially always predicted correctly.
+    """
+
+    def __init__(self, p_taken: float):
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError(f"p_taken must be in [0, 1], got {p_taken}")
+        self.p_taken = p_taken
+
+    def next_outcome(self, history: int, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.p_taken)
+
+
+class RandomBehavior(BiasedBehavior):
+    """Data-dependent branch with no usable context (p defaults to 0.5).
+
+    Any predictor mispredicts this ~min(p, 1-p) of the time; a good
+    confidence estimator learns to flag it low-confidence, but the
+    predictive value of that flag cannot exceed max(p, 1-p).
+    """
+
+    def __init__(self, p_taken: float = 0.5):
+        super().__init__(p_taken)
+
+
+class PatternBehavior(BranchBehavior):
+    """Deterministic repeating local pattern (e.g. T T N T T N ...).
+
+    Learnable from global history once the pattern period fits in the
+    history register; exercised by the Tyson pattern-based estimator.
+    """
+
+    def __init__(self, pattern: Sequence[bool]):
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = tuple(bool(p) for p in pattern)
+        self._pos = 0
+
+    def next_outcome(self, history: int, rng: np.random.Generator) -> bool:
+        outcome = self.pattern[self._pos]
+        self._pos = (self._pos + 1) % len(self.pattern)
+        return outcome
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class LoopBehavior(BranchBehavior):
+    """Loop back-edge: taken ``trips - 1`` times, then one not-taken.
+
+    The trip count is redrawn uniformly from ``[min_trips, max_trips]``
+    for every loop instance, so the exit is only predictable to the
+    extent the distribution is tight and fits the history window.
+    """
+
+    def __init__(self, min_trips: int, max_trips: int):
+        if min_trips < 1:
+            raise ValueError(f"min_trips must be >= 1, got {min_trips}")
+        if max_trips < min_trips:
+            raise ValueError(
+                f"max_trips ({max_trips}) must be >= min_trips ({min_trips})"
+            )
+        self.min_trips = min_trips
+        self.max_trips = max_trips
+        self._remaining = 0
+
+    def _draw_trips(self, rng: np.random.Generator) -> int:
+        if self.min_trips == self.max_trips:
+            return self.min_trips
+        return int(rng.integers(self.min_trips, self.max_trips + 1))
+
+    def next_outcome(self, history: int, rng: np.random.Generator) -> bool:
+        if self._remaining == 0:
+            self._remaining = self._draw_trips(rng)
+        self._remaining -= 1
+        # Taken while iterations remain; the final visit exits (not-taken).
+        return self._remaining > 0
+
+    def reset(self) -> None:
+        self._remaining = 0
+
+
+class CorrelatedBehavior(BranchBehavior):
+    """Outcome determined by selected global-history bits, plus noise.
+
+    ``taps`` are history bit positions (0 = most recent branch).  The
+    combination rule is:
+
+    - ``"copy"``: outcome mirrors tap 0's bit (XOR ``invert``);
+    - ``"majority"``: outcome is the majority vote of the taps --
+      linearly separable, so both gshare and perceptrons learn it;
+    - ``"parity"``: outcome is the XOR of the taps -- learnable by
+      table-based predictors but *not* by a single-layer perceptron
+      (a classic linear-inseparability probe used in tests).
+
+    With probability ``noise`` the outcome is flipped, producing the
+    irreducible misprediction floor.
+    """
+
+    MODES = ("copy", "majority", "parity")
+
+    def __init__(
+        self,
+        taps: Sequence[int],
+        mode: str = "copy",
+        noise: float = 0.0,
+        invert: bool = False,
+    ):
+        if not taps:
+            raise ValueError("at least one history tap is required")
+        if any(t < 0 for t in taps):
+            raise ValueError(f"history taps must be non-negative, got {taps}")
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if mode == "copy" and len(taps) != 1:
+            raise ValueError("copy mode uses exactly one tap")
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        self.taps = tuple(int(t) for t in taps)
+        self.mode = mode
+        self.noise = noise
+        self.invert = invert
+
+    def _base_outcome(self, history: int) -> bool:
+        bits = [(history >> t) & 1 for t in self.taps]
+        if self.mode == "copy":
+            value = bool(bits[0])
+        elif self.mode == "majority":
+            value = sum(bits) * 2 > len(bits)
+        else:  # parity
+            value = bool(sum(bits) & 1)
+        return value != self.invert
+
+    def next_outcome(self, history: int, rng: np.random.Generator) -> bool:
+        outcome = self._base_outcome(history)
+        if self.noise and rng.random() < self.noise:
+            outcome = not outcome
+        return outcome
+
+
+class HiddenCorrelationBehavior(BranchBehavior):
+    """Correlation the baseline predictor cannot exploit.
+
+    The branch normally follows its ``bias_direction``, but whenever a
+    history bit *beyond the baseline predictor's effective history
+    reach* (``far_tap``, default 20 vs. the ~10-16 bit gshare histories
+    of Table 1) is in its trigger state, the outcome flips with
+    probability ``flip_prob``.
+
+    The majority direction stays the bias, so saturating-counter
+    predictors stably predict it and are **systematically wrong in the
+    trigger contexts** -- contexts fully visible to a 32-bit-history
+    confidence estimator.  A flagged trigger context mispredicts with
+    probability ~``flip_prob``, which is what gives the cic-trained
+    perceptron its high PVN, creates the output region where
+    mispredictions outnumber correct predictions (Figure 5, output >
+    30), and makes branch reversal profitable.
+    """
+
+    def __init__(
+        self,
+        far_tap: int = 20,
+        flip_prob: float = 0.9,
+        noise: float = 0.02,
+        invert: bool = False,
+        bias_direction: bool = True,
+        second_tap: Optional[int] = None,
+    ):
+        if far_tap < 0:
+            raise ValueError(f"far_tap must be non-negative, got {far_tap}")
+        if second_tap is not None and second_tap < 0:
+            raise ValueError(f"second_tap must be non-negative, got {second_tap}")
+        if not 0.0 <= flip_prob <= 1.0:
+            raise ValueError(f"flip_prob must be in [0, 1], got {flip_prob}")
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        self.far_tap = int(far_tap)
+        self.second_tap = None if second_tap is None else int(second_tap)
+        self.flip_prob = flip_prob
+        self.noise = noise
+        self.invert = bool(invert)
+        self.bias_direction = bool(bias_direction)
+
+    def _triggered(self, history: int) -> bool:
+        """Trigger = AND of the far bits (after polarity).
+
+        With one tap the trigger fires ~half the time; ANDing a second
+        tap makes it fire ~1/3 of the time, keeping the branch's
+        majority direction strong enough that saturating counters stay
+        locked on the bias -- a perceptron learns AND easily (it is
+        linearly separable), tables cannot reach the bits at all.
+        """
+        bit = bool((history >> self.far_tap) & 1) != self.invert
+        if self.second_tap is None:
+            return bit
+        return bit and bool((history >> self.second_tap) & 1)
+
+    def next_outcome(self, history: int, rng: np.random.Generator) -> bool:
+        outcome = self.bias_direction
+        if self._triggered(history) and rng.random() < self.flip_prob:
+            outcome = not outcome
+        if self.noise and rng.random() < self.noise:
+            outcome = not outcome
+        return outcome
+
+
+class PhasedBehavior(BranchBehavior):
+    """Branch whose bias flips between program phases.
+
+    The branch is taken with probability ``p_phase_a`` for
+    ``phase_length`` executions, then with ``p_phase_b`` for the next
+    ``phase_length``, and so on.  Saturating-counter predictors lag each
+    phase change by a burst of mispredictions.
+    """
+
+    def __init__(
+        self,
+        phase_length: int,
+        p_phase_a: float = 0.95,
+        p_phase_b: float = 0.05,
+    ):
+        if phase_length < 1:
+            raise ValueError(f"phase_length must be >= 1, got {phase_length}")
+        for p in (p_phase_a, p_phase_b):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"phase probabilities must be in [0, 1], got {p}")
+        self.phase_length = phase_length
+        self.p_phase_a = p_phase_a
+        self.p_phase_b = p_phase_b
+        self._count = 0
+
+    def next_outcome(self, history: int, rng: np.random.Generator) -> bool:
+        in_phase_a = (self._count // self.phase_length) % 2 == 0
+        self._count += 1
+        p = self.p_phase_a if in_phase_a else self.p_phase_b
+        return bool(rng.random() < p)
+
+    def reset(self) -> None:
+        self._count = 0

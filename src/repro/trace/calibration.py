@@ -1,0 +1,231 @@
+"""Workload calibration against the Table 2 targets.
+
+The benchmark profiles in :mod:`repro.trace.benchmarks` carry class
+weights solved against the baseline hybrid predictor.  This module is
+the solver behind them, promoted from a development script into the
+library so users who change behaviour mechanics (or add benchmarks) can
+re-calibrate:
+
+1. :func:`measure_profile` replays a profile and returns per-class
+   misprediction rates and dynamic shares;
+2. :func:`solve_weights` computes new class weights that (a) hit the
+   profile's mispredicts/1000-uops target and (b) keep the mispredict
+   *composition* in the configured regime (most of the budget from
+   context-identifiable hard classes);
+3. :func:`calibrate_profile` iterates measure/solve to convergence.
+
+The composition constraint matters: the paper's confidence results live
+in a regime where mispredictions are largely identifiable from history
+context.  A workload whose mispredicts are mostly i.i.d. noise would
+make *every* estimator look bad.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.rng import derive_seed
+from repro.predictors.base import BranchPredictor
+from repro.predictors.hybrid import make_baseline_hybrid
+from repro.trace.benchmarks import (
+    _CLASS_PC_BASE,
+    BenchmarkProfile,
+    build_workload,
+)
+from repro.trace.generator import TraceGenerator
+
+__all__ = [
+    "ClassMeasurement",
+    "CalibrationResult",
+    "UNPREDICTABLE_CLASSES",
+    "UNPRED_CONTRIBUTIONS",
+    "classify_pc",
+    "measure_profile",
+    "solve_weights",
+    "calibrate_profile",
+]
+
+#: Behaviour classes whose mispredictions are context-identifiable.
+UNPREDICTABLE_CLASSES = ("pattern", "loop", "phased", "hidden", "random")
+
+#: Target share of the unpredictable mispredict budget per class.
+#: Hidden dominates: it is the high-PVN population carrying the paper's
+#: confidence results.
+UNPRED_CONTRIBUTIONS: Dict[str, float] = {
+    "hidden": 0.55,
+    "random": 0.10,
+    "loop": 0.20,
+    "pattern": 0.10,
+    "phased": 0.05,
+}
+
+#: Fraction of the total mispredict budget carried by the unpredictable
+#: classes (the rest splits between correlated noise and biased noise).
+FRAC_UNPREDICTABLE = 0.65
+FRAC_CORRELATED = 0.25
+
+
+def classify_pc(pc: int) -> Optional[str]:
+    """Map a static branch address to its behaviour class region."""
+    best = None
+    for cls, base in _CLASS_PC_BASE.items():
+        if pc >= base and (best is None or base > _CLASS_PC_BASE[best]):
+            best = cls
+    return best
+
+
+@dataclass
+class ClassMeasurement:
+    """Per-class statistics from one measurement replay."""
+
+    shares: Dict[str, float]
+    rates: Dict[str, float]
+    overall_rate: float
+
+    def rate(self, cls: str, default: float = 0.3) -> float:
+        return self.rates.get(cls, default)
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of an iterative calibration."""
+
+    profile: BenchmarkProfile
+    measured_rate: float
+    target_rate: float
+    iterations: int
+
+    @property
+    def ratio(self) -> float:
+        """measured / target (1.0 = perfect)."""
+        return self.measured_rate / self.target_rate if self.target_rate else 0.0
+
+    @property
+    def converged(self) -> bool:
+        return 0.5 <= self.ratio <= 2.0
+
+
+def measure_profile(
+    profile: BenchmarkProfile,
+    n_branches: int = 60_000,
+    warmup: int = 20_000,
+    seed: int = 1,
+    make_predictor=make_baseline_hybrid,
+) -> ClassMeasurement:
+    """Replay a profile and measure per-class misprediction rates."""
+    # Imported here: repro.core sits above repro.trace in the layering,
+    # and a module-level import would be circular via repro.trace's
+    # package __init__.
+    from repro.core.estimator import AlwaysHighEstimator
+    from repro.core.frontend import FrontEnd
+
+    spec = build_workload(profile, seed=seed)
+    trace = TraceGenerator(
+        spec, seed=derive_seed(seed, "trace", profile.name)
+    ).generate(n_branches)
+    predictor: BranchPredictor = make_predictor()
+    frontend = FrontEnd(predictor, AlwaysHighEstimator())
+    totals: Dict[str, int] = {}
+    wrongs: Dict[str, int] = {}
+    for i, record in enumerate(trace):
+        event = frontend.process(record)
+        if i < warmup:
+            continue
+        cls = classify_pc(record.pc) or "unknown"
+        totals[cls] = totals.get(cls, 0) + 1
+        if not event.predictor_correct:
+            wrongs[cls] = wrongs.get(cls, 0) + 1
+    measured = sum(totals.values())
+    shares = {cls: n / measured for cls, n in totals.items()}
+    rates = {
+        cls: wrongs.get(cls, 0) / n for cls, n in totals.items() if n > 0
+    }
+    overall = sum(wrongs.values()) / measured if measured else 0.0
+    return ClassMeasurement(shares=shares, rates=rates, overall_rate=overall)
+
+
+def solve_weights(
+    profile: BenchmarkProfile,
+    measurement: ClassMeasurement,
+    target_rate: float,
+) -> Dict[str, float]:
+    """Solve class weights for a target misprediction rate.
+
+    Unpredictable classes are weighted so each contributes its
+    :data:`UNPRED_CONTRIBUTIONS` share of ``FRAC_UNPREDICTABLE x
+    target``; the correlated class absorbs ``FRAC_CORRELATED`` and the
+    remainder lands on biased branches.
+    """
+    if target_rate <= 0:
+        raise ValueError(f"target_rate must be positive, got {target_rate}")
+    w_each = {
+        cls: UNPRED_CONTRIBUTIONS[cls]
+        * FRAC_UNPREDICTABLE
+        * target_rate
+        / max(measurement.rate(cls), 0.02)
+        for cls in UNPREDICTABLE_CLASSES
+    }
+    w_unpred = sum(w_each.values())
+    rel = {cls: w / w_unpred for cls, w in w_each.items()}
+    r_unpred = sum(rel[cls] * measurement.rate(cls) for cls in UNPREDICTABLE_CLASSES)
+    r_biased = measurement.rate("biased", 0.002)
+    r_corr = max(measurement.rate("correlated", 0.05), 1e-4)
+    w_corr = FRAC_CORRELATED * target_rate / r_corr
+    for _ in range(3):
+        w_biased = max(0.0, 1.0 - w_unpred - w_corr)
+        w_corr = max(
+            0.005,
+            (target_rate - w_unpred * r_unpred - w_biased * r_biased) / r_corr,
+        )
+    w_unpred = min(w_unpred, 0.6)
+    weights = {cls: round(w_unpred * rel[cls], 5) for cls in UNPREDICTABLE_CLASSES}
+    weights["correlated"] = round(w_corr, 5)
+    weights["biased"] = round(max(0.0, 1.0 - sum(weights.values())), 5)
+    return weights
+
+
+def calibrate_profile(
+    profile: BenchmarkProfile,
+    n_branches: int = 60_000,
+    warmup: int = 20_000,
+    seed: int = 1,
+    max_iterations: int = 4,
+    tolerance: float = 0.15,
+) -> CalibrationResult:
+    """Iterate measure/solve until the profile hits its target rate.
+
+    Returns the best (closest-ratio) profile found; the input profile
+    is not mutated.
+    """
+    working = copy.deepcopy(profile)
+    target = (
+        profile.mispredict_target_per_kuop * profile.uops_per_branch / 1000.0
+    )
+    best_weights = dict(working.class_weights)
+    best_rate = float("inf")
+    best_score = float("inf")
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        measurement = measure_profile(
+            working, n_branches=n_branches, warmup=warmup, seed=seed
+        )
+        ratio = measurement.overall_rate / target if target else 0.0
+        score = abs(math.log(max(ratio, 1e-9)))
+        if score < best_score:
+            best_score = score
+            best_weights = dict(working.class_weights)
+            best_rate = measurement.overall_rate
+        if (1 - tolerance) <= ratio <= (1 + tolerance) and iterations > 1:
+            break
+        working.class_weights = solve_weights(working, measurement, target)
+    result_profile = copy.deepcopy(profile)
+    result_profile.class_weights = best_weights
+    return CalibrationResult(
+        profile=result_profile,
+        measured_rate=best_rate,
+        target_rate=target,
+        iterations=iterations,
+    )

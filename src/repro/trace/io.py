@@ -1,0 +1,128 @@
+"""Trace serialisation.
+
+Two formats are supported:
+
+- **binary** (``.npz``): compact numpy container, the default for the
+  benchmark harness's cached traces;
+- **text** (``.btrace``): one branch per line (``pc taken uops_before``),
+  greppable and diff-friendly, with ``#`` metadata headers.
+
+Both round-trip exactly; format is chosen by file extension.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from repro.trace.record import BranchRecord, Trace
+
+__all__ = ["save_trace", "load_trace"]
+
+_TEXT_EXTENSIONS = (".btrace", ".txt")
+_BINARY_EXTENSIONS = (".npz",)
+
+
+def _is_text_path(path: str) -> bool:
+    ext = os.path.splitext(path)[1].lower()
+    if ext in _TEXT_EXTENSIONS:
+        return True
+    if ext in _BINARY_EXTENSIONS:
+        return False
+    raise ValueError(
+        f"unrecognised trace extension {ext!r}; use one of "
+        f"{_TEXT_EXTENSIONS + _BINARY_EXTENSIONS}"
+    )
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace to ``path`` (format chosen by extension)."""
+    if _is_text_path(path):
+        _save_text(trace, path)
+    else:
+        _save_binary(trace, path)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    if _is_text_path(path):
+        return _load_text(path)
+    return _load_binary(path)
+
+
+def _save_text(trace: Trace, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# name: {trace.name}\n")
+        if trace.seed is not None:
+            fh.write(f"# seed: {trace.seed}\n")
+        fh.write("# columns: pc taken uops_before\n")
+        for rec in trace:
+            fh.write(f"{rec.pc:#x} {1 if rec.taken else 0} {rec.uops_before}\n")
+
+
+def _load_text(path: str) -> Trace:
+    name = os.path.splitext(os.path.basename(path))[0]
+    seed: Optional[int] = None
+    records: List[BranchRecord] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("name:"):
+                    name = body[len("name:"):].strip()
+                elif body.startswith("seed:"):
+                    seed = int(body[len("seed:"):].strip())
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'pc taken uops_before', "
+                    f"got {line!r}"
+                )
+            pc = int(parts[0], 0)
+            taken = parts[1] not in ("0", "false", "False")
+            uops_before = int(parts[2])
+            records.append(BranchRecord(pc=pc, taken=taken, uops_before=uops_before))
+    return Trace(records, name=name, seed=seed)
+
+
+def _save_binary(trace: Trace, path: str) -> None:
+    n = len(trace)
+    pcs = np.empty(n, dtype=np.uint64)
+    taken = np.empty(n, dtype=np.bool_)
+    uops = np.empty(n, dtype=np.uint32)
+    for i, rec in enumerate(trace):
+        pcs[i] = rec.pc
+        taken[i] = rec.taken
+        uops[i] = rec.uops_before
+    meta = dict(name=trace.name)
+    if trace.seed is not None:
+        meta["seed"] = str(trace.seed)
+    np.savez_compressed(
+        path,
+        pcs=pcs,
+        taken=taken,
+        uops_before=uops,
+        name=np.array(trace.name),
+        seed=np.array(-1 if trace.seed is None else trace.seed, dtype=np.int64),
+    )
+
+
+def _load_binary(path: str) -> Trace:
+    with np.load(path, allow_pickle=False) as data:
+        pcs = data["pcs"]
+        taken = data["taken"]
+        uops = data["uops_before"]
+        name = str(data["name"])
+        seed_val = int(data["seed"])
+    seed = None if seed_val < 0 else seed_val
+    records = [
+        BranchRecord(pc=int(pcs[i]), taken=bool(taken[i]), uops_before=int(uops[i]))
+        for i in range(len(pcs))
+    ]
+    return Trace(records, name=name, seed=seed)

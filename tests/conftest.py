@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Traces are expensive to generate, so the commonly used ones are session
+scoped; tests must treat them as read-only.
+"""
+
+import pytest
+
+from repro.trace.benchmarks import generate_benchmark_trace
+from repro.trace.behaviors import BiasedBehavior, RandomBehavior
+from repro.trace.generator import StaticBranch, TraceGenerator, WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def gzip_trace():
+    """A small gzip benchmark trace (read-only)."""
+    return generate_benchmark_trace("gzip", n_branches=12_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def gcc_trace():
+    """A small gcc benchmark trace (read-only)."""
+    return generate_benchmark_trace("gcc", n_branches=12_000, seed=7)
+
+
+def make_simple_workload(name="simple", extra=None, uops_per_branch=8.0):
+    """A deterministic-plus-random workload for predictor tests."""
+    spec = WorkloadSpec(name=name, uops_per_branch=uops_per_branch)
+    pc = 0x40_0000
+    for i in range(10):
+        behavior = BiasedBehavior(1.0 if i % 2 == 0 else 0.0)
+        spec.add(StaticBranch(pc=pc, behavior=behavior))
+        pc += 52
+    spec.add(StaticBranch(pc=pc, behavior=RandomBehavior(), weight=0.5))
+    if extra:
+        pc += 52
+        for behavior, weight in extra:
+            spec.add(StaticBranch(pc=pc, behavior=behavior, weight=weight))
+            pc += 52
+    return spec
+
+
+@pytest.fixture()
+def simple_trace():
+    """A fresh 4k-branch deterministic-plus-random trace."""
+    spec = make_simple_workload()
+    return TraceGenerator(spec, seed=3).generate(4_000)

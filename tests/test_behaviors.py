@@ -1,0 +1,218 @@
+"""Unit tests for repro.trace.behaviors."""
+
+import numpy as np
+import pytest
+
+from repro.trace.behaviors import (
+    BiasedBehavior,
+    CorrelatedBehavior,
+    HiddenCorrelationBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    PhasedBehavior,
+    RandomBehavior,
+)
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestBiasedBehavior:
+    def test_deterministic_extremes(self):
+        g = rng()
+        always = BiasedBehavior(1.0)
+        never = BiasedBehavior(0.0)
+        assert all(always.next_outcome(0, g) for _ in range(50))
+        assert not any(never.next_outcome(0, g) for _ in range(50))
+
+    def test_bias_rate(self):
+        g = rng()
+        b = BiasedBehavior(0.9)
+        taken = sum(b.next_outcome(0, g) for _ in range(5000))
+        assert 0.87 < taken / 5000 < 0.93
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasedBehavior(1.5)
+
+    def test_kind_tag(self):
+        assert BiasedBehavior(0.5).kind == "biased"
+        assert RandomBehavior().kind == "random"
+
+
+class TestPatternBehavior:
+    def test_cycles(self):
+        g = rng()
+        p = PatternBehavior((True, True, False))
+        out = [p.next_outcome(0, g) for _ in range(6)]
+        assert out == [True, True, False, True, True, False]
+
+    def test_reset(self):
+        g = rng()
+        p = PatternBehavior((True, False))
+        p.next_outcome(0, g)
+        p.reset()
+        assert p.next_outcome(0, g) is True
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PatternBehavior(())
+
+
+class TestLoopBehavior:
+    def test_fixed_trip_shape(self):
+        g = rng()
+        loop = LoopBehavior(5, 5)
+        out = [loop.next_outcome(0, g) for _ in range(10)]
+        assert out == [True] * 4 + [False] + [True] * 4 + [False]
+
+    def test_variable_trips_within_range(self):
+        g = rng()
+        loop = LoopBehavior(3, 6)
+        for _ in range(30):
+            run = 0
+            while loop.next_outcome(0, g):
+                run += 1
+            assert 2 <= run <= 5  # trips-1 takens before the exit
+
+    def test_exit_rate_matches_mean_trips(self):
+        g = rng()
+        loop = LoopBehavior(8, 12)
+        outcomes = [loop.next_outcome(0, g) for _ in range(5000)]
+        exits = outcomes.count(False)
+        assert 5000 / 12 <= exits <= 5000 / 8
+
+    def test_reset_mid_instance(self):
+        g = rng()
+        loop = LoopBehavior(5, 5)
+        loop.next_outcome(0, g)
+        loop.reset()
+        out = [loop.next_outcome(0, g) for _ in range(5)]
+        assert out == [True] * 4 + [False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(0, 5)
+        with pytest.raises(ValueError):
+            LoopBehavior(5, 4)
+
+
+class TestCorrelatedBehavior:
+    def test_copy_mode(self):
+        g = rng()
+        c = CorrelatedBehavior((3,), mode="copy")
+        assert c.next_outcome(0b1000, g) is True
+        assert c.next_outcome(0b0000, g) is False
+
+    def test_invert(self):
+        g = rng()
+        c = CorrelatedBehavior((0,), mode="copy", invert=True)
+        assert c.next_outcome(0b1, g) is False
+
+    def test_majority_mode(self):
+        g = rng()
+        c = CorrelatedBehavior((0, 1, 2), mode="majority")
+        assert c.next_outcome(0b011, g) is True
+        assert c.next_outcome(0b001, g) is False
+
+    def test_parity_mode(self):
+        g = rng()
+        c = CorrelatedBehavior((0, 1), mode="parity")
+        assert c.next_outcome(0b01, g) is True
+        assert c.next_outcome(0b11, g) is False
+
+    def test_noise_rate(self):
+        g = rng()
+        c = CorrelatedBehavior((0,), noise=0.2)
+        flips = sum(
+            c.next_outcome(0b1, g) is False for _ in range(5000)
+        )
+        assert 0.16 < flips / 5000 < 0.24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedBehavior(())
+        with pytest.raises(ValueError):
+            CorrelatedBehavior((0, 1), mode="copy")
+        with pytest.raises(ValueError):
+            CorrelatedBehavior((0,), mode="bogus")
+        with pytest.raises(ValueError):
+            CorrelatedBehavior((-1,))
+        with pytest.raises(ValueError):
+            CorrelatedBehavior((0,), noise=2.0)
+
+
+class TestHiddenCorrelationBehavior:
+    def test_follows_bias_without_trigger(self):
+        g = rng()
+        h = HiddenCorrelationBehavior(
+            far_tap=20, flip_prob=1.0, noise=0.0, bias_direction=True
+        )
+        assert h.next_outcome(0, g) is True
+
+    def test_flips_on_trigger(self):
+        g = rng()
+        h = HiddenCorrelationBehavior(
+            far_tap=20, flip_prob=1.0, noise=0.0, bias_direction=True
+        )
+        assert h.next_outcome(1 << 20, g) is False
+
+    def test_second_tap_and(self):
+        g = rng()
+        h = HiddenCorrelationBehavior(
+            far_tap=20, second_tap=24, flip_prob=1.0, noise=0.0,
+            bias_direction=True,
+        )
+        assert h.next_outcome(1 << 20, g) is True  # second tap clear
+        assert h.next_outcome((1 << 20) | (1 << 24), g) is False
+
+    def test_invert_polarity(self):
+        g = rng()
+        h = HiddenCorrelationBehavior(
+            far_tap=5, flip_prob=1.0, noise=0.0, invert=True,
+            bias_direction=True,
+        )
+        # Inverted: trigger fires when the bit is CLEAR.
+        assert h.next_outcome(0, g) is False
+        assert h.next_outcome(1 << 5, g) is True
+
+    def test_flip_probability(self):
+        g = rng()
+        h = HiddenCorrelationBehavior(
+            far_tap=0, flip_prob=0.75, noise=0.0, bias_direction=True
+        )
+        flips = sum(h.next_outcome(1, g) is False for _ in range(4000))
+        assert 0.70 < flips / 4000 < 0.80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HiddenCorrelationBehavior(far_tap=-1)
+        with pytest.raises(ValueError):
+            HiddenCorrelationBehavior(flip_prob=1.5)
+        with pytest.raises(ValueError):
+            HiddenCorrelationBehavior(second_tap=-2)
+
+
+class TestPhasedBehavior:
+    def test_phase_flip(self):
+        g = rng()
+        p = PhasedBehavior(phase_length=100, p_phase_a=1.0, p_phase_b=0.0)
+        first = [p.next_outcome(0, g) for _ in range(100)]
+        second = [p.next_outcome(0, g) for _ in range(100)]
+        assert all(first)
+        assert not any(second)
+
+    def test_reset(self):
+        g = rng()
+        p = PhasedBehavior(phase_length=10, p_phase_a=1.0, p_phase_b=0.0)
+        for _ in range(15):
+            p.next_outcome(0, g)
+        p.reset()
+        assert p.next_outcome(0, g) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedBehavior(phase_length=0)
+        with pytest.raises(ValueError):
+            PhasedBehavior(phase_length=10, p_phase_a=-0.1)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.common.bits."""
+
+import pytest
+
+from repro.common.bits import (
+    bit_at,
+    bits_to_pm1,
+    fold_bits,
+    mask,
+    mix_hash,
+    pm1_to_bits,
+    popcount,
+    sign,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(4) == 0b1111
+        assert mask(8) == 0xFF
+
+    def test_wide(self):
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitAt:
+    def test_lsb(self):
+        assert bit_at(0b1010, 0) == 0
+        assert bit_at(0b1010, 1) == 1
+
+    def test_high_bit(self):
+        assert bit_at(1 << 40, 40) == 1
+        assert bit_at(1 << 40, 39) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bit_at(1, -1)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount(0xFF) == 8
+
+    def test_sparse(self):
+        assert popcount(0b1000_0001) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+
+class TestFoldBits:
+    def test_identity_when_fits(self):
+        assert fold_bits(0b1011, 8) == 0b1011
+
+    def test_folds_high_bits(self):
+        # Two 4-bit slices: 0b1111 ^ 0b0001
+        assert fold_bits(0b1111_0001, 4) == 0b1110
+
+    def test_zero_width(self):
+        assert fold_bits(12345, 0) == 0
+
+    def test_result_fits_width(self):
+        for value in (0, 1, 0xDEADBEEF, (1 << 60) - 3):
+            assert 0 <= fold_bits(value, 10) < (1 << 10)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            fold_bits(1, -2)
+
+
+class TestMixHash:
+    def test_deterministic(self):
+        assert mix_hash(42) == mix_hash(42)
+
+    def test_spreads_close_inputs(self):
+        a, b = mix_hash(1), mix_hash(2)
+        assert a != b
+        # At least a quarter of the bits differ for adjacent inputs.
+        assert bin(a ^ b).count("1") > 16
+
+    def test_nonnegative_64bit(self):
+        for v in range(50):
+            h = mix_hash(v)
+            assert 0 <= h < (1 << 64)
+
+
+class TestSign:
+    def test_signs(self):
+        assert sign(5) == 1
+        assert sign(-3) == -1
+        assert sign(0) == 0
+        assert sign(0.001) == 1
+
+
+class TestSignedConversion:
+    def test_roundtrip(self):
+        for value in (-128, -1, 0, 1, 127):
+            assert to_signed(to_unsigned(value, 8), 8) == value
+
+    def test_sign_extension(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+        assert to_signed(0x7F, 8) == 127
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            to_signed(1, 0)
+        with pytest.raises(ValueError):
+            to_unsigned(1, -4)
+
+
+class TestPm1Encoding:
+    def test_bits_to_pm1(self):
+        assert bits_to_pm1(0b101, 3) == (1, -1, 1)
+
+    def test_pads_with_minus_one(self):
+        assert bits_to_pm1(0b1, 3) == (1, -1, -1)
+
+    def test_roundtrip(self):
+        for value in (0, 1, 0b1011, 0b11111):
+            assert pm1_to_bits(bits_to_pm1(value, 5)) == value
+
+    def test_rejects_non_pm1(self):
+        with pytest.raises(ValueError):
+            pm1_to_bits((1, 0, -1))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_pm1(0, -1)

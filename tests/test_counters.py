@@ -1,0 +1,150 @@
+"""Unit tests for repro.common.counters."""
+
+import pytest
+
+from repro.common.counters import CounterTable, ResettingCounter, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_initial_state(self):
+        c = SaturatingCounter(bits=2)
+        assert c.value == 0
+        assert c.max_value == 3
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(bits=2)
+        for _ in range(10):
+            c.increment()
+        assert c.value == 3
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(bits=2, initial=1)
+        for _ in range(5):
+            c.decrement()
+        assert c.value == 0
+
+    def test_update_direction(self):
+        c = SaturatingCounter(bits=3, initial=4)
+        c.update(True)
+        assert c.value == 5
+        c.update(False)
+        assert c.value == 4
+
+    def test_msb_is_decision_bit(self):
+        c = SaturatingCounter(bits=2, initial=1)
+        assert not c.msb()
+        c.increment()
+        assert c.msb()
+
+    def test_is_saturated(self):
+        c = SaturatingCounter(bits=2, initial=0)
+        assert c.is_saturated()
+        c.increment()
+        assert not c.is_saturated()
+        c.reset(3)
+        assert c.is_saturated()
+
+    def test_reset_validation(self):
+        c = SaturatingCounter(bits=2)
+        with pytest.raises(ValueError):
+            c.reset(4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=5)
+
+
+class TestResettingCounter:
+    def test_counts_correct_streak(self):
+        c = ResettingCounter(bits=4)
+        for i in range(5):
+            c.record(True)
+        assert c.value == 5
+
+    def test_reset_on_miss(self):
+        c = ResettingCounter(bits=4)
+        for _ in range(7):
+            c.record(True)
+        c.record(False)
+        assert c.value == 0
+
+    def test_saturates(self):
+        c = ResettingCounter(bits=4)
+        for _ in range(100):
+            c.record(True)
+        assert c.value == 15
+
+    def test_miss_distance_semantics(self):
+        c = ResettingCounter(bits=4)
+        c.record(True)
+        c.record(False)
+        c.record(True)
+        c.record(True)
+        assert c.value == 2  # two corrects since the last miss
+
+
+class TestCounterTable:
+    def test_saturating_update(self):
+        t = CounterTable(entries=8, bits=2, mode="saturating", initial=1)
+        t.update(3, True)
+        assert t.read(3) == 2
+        t.update(3, False)
+        assert t.read(3) == 1
+
+    def test_resetting_update(self):
+        t = CounterTable(entries=8, bits=4, mode="resetting")
+        for _ in range(6):
+            t.update(2, True)
+        assert t.read(2) == 6
+        t.update(2, False)
+        assert t.read(2) == 0
+
+    def test_index_wraps(self):
+        t = CounterTable(entries=8, bits=2)
+        t.write(3, 3)
+        assert t.read(3 + 8) == 3
+        assert t.read(3 + 80) == 3
+
+    def test_entries_independent(self):
+        t = CounterTable(entries=4, bits=2)
+        t.update(0, True)
+        assert t.read(1) == 0
+
+    def test_msb(self):
+        t = CounterTable(entries=4, bits=2, initial=2)
+        assert t.msb(0)
+        t.update(0, False)
+        assert not t.msb(0)
+
+    def test_fill(self):
+        t = CounterTable(entries=4, bits=2)
+        t.fill(3)
+        assert all(t.read(i) == 3 for i in range(4))
+
+    def test_storage_bits(self):
+        t = CounterTable(entries=8192, bits=4)
+        assert t.storage_bits == 8192 * 4
+        assert t.storage_bits / 8 / 1024 == 4.0  # the paper's 4KB JRS table
+
+    def test_snapshot_is_copy(self):
+        t = CounterTable(entries=4, bits=2)
+        snap = t.snapshot()
+        snap[:] = 3
+        assert t.read(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterTable(entries=0)
+        with pytest.raises(ValueError):
+            CounterTable(entries=4, bits=0)
+        with pytest.raises(ValueError):
+            CounterTable(entries=4, mode="bogus")
+        with pytest.raises(ValueError):
+            CounterTable(entries=4, bits=2, initial=9)
+        t = CounterTable(entries=4, bits=2)
+        with pytest.raises(ValueError):
+            t.write(0, 4)
+        with pytest.raises(ValueError):
+            t.fill(-1)

@@ -1,0 +1,122 @@
+"""Conformance suite: every estimator obeys the front-end protocol.
+
+Parametrised over the whole estimator zoo, these tests pin the
+contracts :class:`repro.core.frontend.FrontEnd` relies on: estimate is
+a pure read, signals are internally consistent, training never raises
+on any (prediction, outcome) combination, and a full trace replay
+yields coherent metrics.
+"""
+
+import pytest
+
+from repro.core.agreement import ComponentAgreementEstimator
+from repro.core.combined_estimator import AgreementEstimator, CascadeEstimator
+from repro.core.estimator import AlwaysHighEstimator
+from repro.core.frontend import FrontEnd
+from repro.core.jrs import JRSEstimator
+from repro.core.path_perceptron import PathPerceptronConfidenceEstimator
+from repro.core.pattern import PatternEstimator
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.core.smith import SmithEstimator
+from repro.predictors.hybrid import make_baseline_hybrid
+from repro.predictors.local import LocalPredictor
+
+
+def estimator_factories():
+    """(label, factory) for every estimator; factories build fresh
+    instances plus the predictor the front-end should use (None = any)."""
+
+    def plain(factory):
+        return lambda: (factory(), None)
+
+    def smith():
+        hybrid = make_baseline_hybrid()
+        return SmithEstimator(hybrid), hybrid
+
+    def agreement():
+        hybrid = make_baseline_hybrid()
+        return ComponentAgreementEstimator(hybrid), hybrid
+
+    return [
+        ("always-high", plain(AlwaysHighEstimator)),
+        ("jrs", plain(lambda: JRSEstimator(threshold=7, enhanced=False))),
+        ("enhanced-jrs", plain(lambda: JRSEstimator(threshold=7))),
+        ("perceptron-cic", plain(lambda: PerceptronConfidenceEstimator(threshold=0))),
+        ("perceptron-tnt",
+         plain(lambda: PerceptronConfidenceEstimator(threshold=30, mode="tnt"))),
+        ("path-perceptron", plain(PathPerceptronConfidenceEstimator)),
+        ("pattern", plain(lambda: PatternEstimator(LocalPredictor()))),
+        ("smith", smith),
+        ("component-agreement", agreement),
+        ("fusion-intersection",
+         plain(lambda: AgreementEstimator(
+             PerceptronConfidenceEstimator(threshold=0),
+             JRSEstimator(threshold=7),
+             mode="intersection"))),
+        ("cascade",
+         plain(lambda: CascadeEstimator(
+             PerceptronConfidenceEstimator(threshold=0),
+             JRSEstimator(threshold=7)))),
+    ]
+
+
+IDS = [label for label, _ in estimator_factories()]
+FACTORIES = [factory for _, factory in estimator_factories()]
+
+
+@pytest.fixture(params=FACTORIES, ids=IDS)
+def estimator_and_predictor(request):
+    estimator, predictor = request.param()
+    return estimator, predictor or make_baseline_hybrid()
+
+
+class TestProtocolConformance:
+    def test_estimate_is_consistent_signal(self, estimator_and_predictor):
+        estimator, _ = estimator_and_predictor
+        signal = estimator.estimate(0x400000, True)
+        assert signal.low_confidence == signal.level.is_low
+
+    def test_estimate_is_repeatable(self, estimator_and_predictor):
+        """Two estimates with no intervening training must agree."""
+        estimator, _ = estimator_and_predictor
+        first = estimator.estimate(0x400000, True)
+        second = estimator.estimate(0x400000, True)
+        assert first.low_confidence == second.low_confidence
+        assert first.raw == second.raw
+
+    def test_train_accepts_all_outcomes(self, estimator_and_predictor):
+        estimator, _ = estimator_and_predictor
+        for prediction in (True, False):
+            for correct in (True, False):
+                signal = estimator.estimate(0x400000, prediction)
+                estimator.train(0x400000, prediction, correct, signal)
+                estimator.shift_history(prediction if correct else not prediction)
+
+    def test_storage_bits_nonnegative(self, estimator_and_predictor):
+        estimator, _ = estimator_and_predictor
+        assert estimator.storage_bits >= 0
+        assert estimator.storage_kib == estimator.storage_bits / 8 / 1024
+
+    def test_full_replay_metrics_coherent(
+        self, estimator_and_predictor, simple_trace
+    ):
+        estimator, predictor = estimator_and_predictor
+        frontend = FrontEnd(predictor, estimator)
+        result = frontend.run(simple_trace, warmup=500)
+        matrix = result.metrics.overall
+        assert matrix.total == result.branches
+        assert 0.0 <= matrix.pvn <= 1.0
+        assert 0.0 <= matrix.spec <= 1.0
+        assert matrix.mispredicted == result.mispredictions
+
+    def test_reset_restores_cold_behaviour(
+        self, estimator_and_predictor, simple_trace
+    ):
+        estimator, predictor = estimator_and_predictor
+        cold = estimator.estimate(0x400000, True)
+        FrontEnd(predictor, estimator).run(simple_trace.slice(0, 800))
+        estimator.reset()
+        predictor.reset()
+        warm_reset = estimator.estimate(0x400000, True)
+        assert warm_reset.low_confidence == cold.low_confidence
+        assert warm_reset.raw == cold.raw

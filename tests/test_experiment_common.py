@@ -1,0 +1,96 @@
+"""Unit tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.core.estimator import AlwaysHighEstimator
+from repro.core.jrs import JRSEstimator
+from repro.core.reversal import GatingOnlyPolicy
+from repro.experiments.common import (
+    ExperimentSettings,
+    get_trace,
+    replay_benchmark,
+    simulate_events,
+    weighted_average,
+)
+from repro.pipeline.config import BASELINE_40X4
+
+SMALL = ExperimentSettings(
+    n_branches=4_000, warmup=1_000, benchmarks=("gzip",)
+)
+
+
+class TestGetTrace:
+    def test_cached(self):
+        a = get_trace("gzip", 3_000, 5)
+        b = get_trace("gzip", 3_000, 5)
+        assert a is b
+
+    def test_distinct_keys(self):
+        assert get_trace("gzip", 3_000, 5) is not get_trace("gzip", 3_000, 6)
+
+
+class TestReplayBenchmark:
+    def test_event_count_excludes_warmup(self):
+        events, result = replay_benchmark(
+            "gzip", SMALL, make_estimator=AlwaysHighEstimator
+        )
+        assert len(events) == SMALL.n_branches - SMALL.warmup
+        assert result.branches == len(events)
+
+    def test_policy_decisions_present(self):
+        events, _ = replay_benchmark(
+            "gzip",
+            SMALL,
+            make_estimator=lambda: JRSEstimator(threshold=7),
+            policy=GatingOnlyPolicy(),
+        )
+        assert any(e.decision.counts_toward_gating for e in events)
+
+    def test_collect_outputs(self):
+        _, result = replay_benchmark(
+            "gzip",
+            SMALL,
+            make_estimator=lambda: JRSEstimator(threshold=7),
+            collect_outputs=True,
+        )
+        total = len(result.outputs_correct) + len(result.outputs_mispredicted)
+        assert total == result.branches
+
+
+class TestSimulateEvents:
+    def test_runs_over_replay(self):
+        events, _ = replay_benchmark(
+            "gzip", SMALL, make_estimator=AlwaysHighEstimator
+        )
+        stats = simulate_events(events, BASELINE_40X4)
+        assert stats.branches == len(events)
+        assert stats.total_cycles > 0
+
+    def test_rerunnable(self):
+        events, _ = replay_benchmark(
+            "gzip", SMALL, make_estimator=AlwaysHighEstimator
+        )
+        a = simulate_events(events, BASELINE_40X4)
+        b = simulate_events(events, BASELINE_40X4)
+        assert a.total_cycles == b.total_cycles
+
+
+class TestWeightedAverage:
+    def test_basic(self):
+        assert weighted_average([1.0, 3.0], [1.0, 1.0]) == 2.0
+        assert weighted_average([1.0, 3.0], [3.0, 1.0]) == 1.5
+
+    def test_zero_weights(self):
+        assert weighted_average([1.0], [0.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_average([1.0], [1.0, 2.0])
+
+
+class TestRunnerCli:
+    def test_main_quick_single(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--branches", "4000", "figure6_7"]) == 0
+        assert "figure6_7" in capsys.readouterr().out

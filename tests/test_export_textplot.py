@@ -1,0 +1,129 @@
+"""Unit tests for result export and terminal plotting."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.density import OutputDensity
+from repro.analysis.export import rows_from_result, write_csv, write_json
+from repro.analysis.textplot import density_plot, frontier_plot
+
+
+class FakeRow:
+    def __init__(self, **kw):
+        self._kw = kw
+
+    def as_dict(self):
+        return dict(self._kw)
+
+
+class FakeResult:
+    def __init__(self, rows):
+        self.rows = rows
+
+
+class TestRowsFromResult:
+    def test_rows_attribute_with_as_dict(self):
+        result = FakeResult([FakeRow(a=1), FakeRow(a=2)])
+        assert rows_from_result(result) == [{"a": 1}, {"a": 2}]
+
+    def test_cells_attribute(self):
+        class CellResult:
+            cells = [FakeRow(x=1)]
+
+        assert rows_from_result(CellResult()) == [{"x": 1}]
+
+    def test_plain_sequence(self):
+        assert rows_from_result([{"k": 1}]) == [{"k": 1}]
+
+    def test_mapping_rows(self):
+        assert rows_from_result(FakeResult([{"m": 3}])) == [{"m": 3}]
+
+    def test_bad_input(self):
+        with pytest.raises(TypeError):
+            rows_from_result(42)
+        with pytest.raises(TypeError):
+            rows_from_result(FakeResult([object()]))
+
+    def test_real_experiment_result(self):
+        from repro.experiments import table2
+        from repro.experiments.common import ExperimentSettings
+
+        result = table2.run(
+            ExperimentSettings(n_branches=4000, warmup=1200,
+                               benchmarks=("gzip",))
+        )
+        rows = rows_from_result(result)
+        assert rows[0]["benchmark"] == "gzip"
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        n = write_csv(FakeResult([FakeRow(a=1, b="x"), FakeRow(a=2, b="y")]), path)
+        assert n == 2
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0] == {"a": "1", "b": "x"}
+
+    def test_column_selection(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(FakeResult([FakeRow(a=1, b=2)]), path, columns=["b"])
+        with open(path) as fh:
+            assert fh.readline().strip() == "b"
+
+    def test_empty(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        assert write_csv(FakeResult([]), path) == 0
+
+
+class TestWriteJson:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        n = write_json(FakeResult([FakeRow(a=1)]), path, label="t")
+        assert n == 1
+        payload = json.load(open(path))
+        assert payload["label"] == "t"
+        assert payload["rows"] == [{"a": 1}]
+
+
+class TestDensityPlot:
+    def density(self):
+        rng = np.random.default_rng(0)
+        return OutputDensity(rng.normal(-100, 20, 500), rng.normal(50, 20, 80))
+
+    def test_renders_rows(self):
+        text = density_plot(self.density(), bins=10)
+        lines = text.splitlines()
+        assert len(lines) == 11
+        assert "#" in text and "*" in text
+
+    def test_zoom(self):
+        text = density_plot(self.density(), bins=5, value_range=(0, 100))
+        # All bin centres inside the zoom window.
+        for line in text.splitlines()[1:]:
+            centre = float(line.split()[0])
+            assert 0 <= centre <= 100
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            density_plot(self.density(), width=2)
+
+
+class TestFrontierPlot:
+    def test_renders_points(self):
+        text = frontier_plot([(1.0, 5.0, "jrs"), (0.5, 8.0, "perc")])
+        assert "legend" in text
+        assert "j=jrs" in text and "p=perc" in text
+        assert "j" in text.splitlines()[3] or any(
+            "j" in line for line in text.splitlines()[1:-3]
+        )
+
+    def test_empty(self):
+        assert frontier_plot([]) == "(no points)"
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            frontier_plot([(1, 1, "x")], width=2)

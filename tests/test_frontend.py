@@ -1,0 +1,134 @@
+"""Unit tests for the front-end coupling (repro.core.frontend)."""
+
+import pytest
+
+from repro.core.estimator import AlwaysHighEstimator
+from repro.core.frontend import FrontEnd, FrontEndResult, apply_policy
+from repro.core.jrs import JRSEstimator
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.core.reversal import (
+    BranchAction,
+    GatingOnlyPolicy,
+    NoSpeculationControl,
+    ThreeRegionPolicy,
+)
+from repro.predictors.hybrid import make_baseline_hybrid
+from repro.predictors.static import AlwaysTakenPredictor
+from repro.trace.record import BranchRecord, Trace
+
+
+def two_branch_trace(n=200):
+    records = []
+    for i in range(n):
+        records.append(BranchRecord(pc=0x40, taken=True, uops_before=7))
+        records.append(BranchRecord(pc=0x44, taken=False, uops_before=7))
+    return Trace(records, name="two")
+
+
+class TestProcess:
+    def test_event_fields(self):
+        fe = FrontEnd(AlwaysTakenPredictor(), AlwaysHighEstimator())
+        ev = fe.process(BranchRecord(pc=0x40, taken=False, uops_before=3))
+        assert ev.pc == 0x40
+        assert ev.prediction is True
+        assert ev.final_prediction is True
+        assert not ev.predictor_correct
+        assert not ev.final_correct
+        assert ev.uops_before == 3
+        assert ev.decision.action is BranchAction.NORMAL
+
+    def test_predictor_trains_through_frontend(self):
+        fe = FrontEnd(make_baseline_hybrid(), AlwaysHighEstimator())
+        result = fe.run(two_branch_trace(), warmup=40)
+        assert result.misprediction_rate < 0.05
+
+    def test_estimator_history_shifts(self):
+        est = PerceptronConfidenceEstimator()
+        fe = FrontEnd(AlwaysTakenPredictor(), est)
+        fe.process(BranchRecord(pc=0x40, taken=True))
+        assert est.history.bits == 1
+
+
+class TestRun:
+    def test_warmup_excluded_from_metrics(self):
+        fe = FrontEnd(make_baseline_hybrid(), JRSEstimator())
+        trace = two_branch_trace(50)
+        full = fe.run(trace)
+        assert full.branches == len(trace)
+        fe2 = FrontEnd(make_baseline_hybrid(), JRSEstimator())
+        warm = fe2.run(trace, warmup=60)
+        assert warm.branches == len(trace) - 60
+
+    def test_negative_warmup_rejected(self):
+        fe = FrontEnd(AlwaysTakenPredictor(), AlwaysHighEstimator())
+        with pytest.raises(ValueError):
+            fe.run(two_branch_trace(), warmup=-1)
+
+    def test_always_high_estimator_never_flags(self, simple_trace):
+        fe = FrontEnd(make_baseline_hybrid(), AlwaysHighEstimator())
+        result = fe.run(simple_trace)
+        assert result.metrics.overall.flagged_low == 0
+        assert result.metrics.overall.spec == 0.0
+
+    def test_continue_aggregation(self):
+        fe = FrontEnd(AlwaysTakenPredictor(), AlwaysHighEstimator())
+        first = fe.run(two_branch_trace(10))
+        combined = fe.run(two_branch_trace(10), result=first)
+        assert combined.branches == 40
+
+    def test_collect_outputs(self, simple_trace):
+        fe = FrontEnd(
+            make_baseline_hybrid(),
+            PerceptronConfidenceEstimator(),
+            collect_outputs=True,
+        )
+        result = fe.run(simple_trace, warmup=500)
+        total = len(result.outputs_correct) + len(result.outputs_mispredicted)
+        assert total == result.branches
+
+
+class TestReversalAccounting:
+    def test_correcting_and_breaking_counts(self):
+        # Estimator that always reports strong-low forces reversal of
+        # every branch: reversals fix mispredictions and break correct
+        # predictions symmetrically.
+        class AlwaysStrongLow(AlwaysHighEstimator):
+            def estimate(self, pc, prediction):
+                from repro.core.types import ConfidenceSignal
+
+                return ConfidenceSignal.strong_low(100.0)
+
+        fe = FrontEnd(
+            AlwaysTakenPredictor(), AlwaysStrongLow(), ThreeRegionPolicy()
+        )
+        result = fe.run(two_branch_trace(50))
+        assert result.reversals == 100
+        # taken branches were predicted correctly -> broken by reversal;
+        # not-taken branches were mispredicted -> fixed.
+        assert result.reversals_correcting == 50
+        assert result.reversals_breaking == 50
+        assert result.net_reversal_gain == 0
+        assert result.final_misprediction_rate == pytest.approx(0.5)
+
+
+class TestApplyPolicy:
+    def test_reclassifies_decisions(self, simple_trace):
+        fe = FrontEnd(make_baseline_hybrid(), JRSEstimator(threshold=7))
+        events = [fe.process(r) for r in simple_trace]
+        gated = apply_policy(events, GatingOnlyPolicy())
+        assert len(gated) == len(events)
+        n_gate = sum(1 for e in gated if e.decision.action is BranchAction.GATE)
+        n_low = sum(1 for e in events if e.signal.low_confidence)
+        assert n_gate == n_low
+
+    def test_baseline_strip(self, simple_trace):
+        fe = FrontEnd(
+            make_baseline_hybrid(), JRSEstimator(threshold=7), GatingOnlyPolicy()
+        )
+        events = [fe.process(r) for r in simple_trace]
+        stripped = apply_policy(events, NoSpeculationControl())
+        assert all(e.decision.action is BranchAction.NORMAL for e in stripped)
+        # Predictions and signals are untouched.
+        for orig, new in zip(events, stripped):
+            assert orig.prediction == new.prediction
+            assert orig.signal is new.signal

@@ -1,0 +1,94 @@
+"""Unit tests for gating machinery and speculation policies."""
+
+import pytest
+
+from repro.core.gating import GatingConfig, LowConfidenceCounter
+from repro.core.reversal import (
+    BranchAction,
+    GatingOnlyPolicy,
+    NoSpeculationControl,
+    ThreeRegionPolicy,
+)
+from repro.core.types import ConfidenceSignal
+
+
+class TestGatingConfig:
+    def test_defaults(self):
+        cfg = GatingConfig()
+        assert cfg.branch_counter_threshold == 1
+        assert cfg.estimator_latency == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatingConfig(branch_counter_threshold=0)
+        with pytest.raises(ValueError):
+            GatingConfig(estimator_latency=-1)
+
+
+class TestLowConfidenceCounter:
+    def test_figure1_protocol(self):
+        counter = LowConfidenceCounter(threshold=2)
+        counter.on_fetch(True)
+        assert not counter.should_gate()
+        counter.on_fetch(True)
+        assert counter.should_gate()
+        counter.on_resolve(True)
+        assert not counter.should_gate()
+
+    def test_high_confidence_branches_ignored(self):
+        counter = LowConfidenceCounter(threshold=1)
+        counter.on_fetch(False)
+        assert counter.count == 0
+        counter.on_resolve(False)
+        assert counter.count == 0
+
+    def test_underflow_detected(self):
+        counter = LowConfidenceCounter(threshold=1)
+        with pytest.raises(RuntimeError):
+            counter.on_resolve(True)
+
+    def test_flush(self):
+        counter = LowConfidenceCounter(threshold=1)
+        counter.on_fetch(True)
+        counter.flush()
+        assert counter.count == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            LowConfidenceCounter(threshold=0)
+
+
+class TestPolicies:
+    def test_no_control(self):
+        policy = NoSpeculationControl()
+        d = policy.decide(ConfidenceSignal.strong_low(100.0), True)
+        assert d.action is BranchAction.NORMAL
+        assert d.final_prediction is True
+        assert not d.counts_toward_gating
+
+    def test_gating_only(self):
+        policy = GatingOnlyPolicy()
+        low = policy.decide(ConfidenceSignal.weak_low(5.0), False)
+        assert low.action is BranchAction.GATE
+        assert low.final_prediction is False
+        assert low.counts_toward_gating
+        high = policy.decide(ConfidenceSignal.high(-50.0), True)
+        assert high.action is BranchAction.NORMAL
+
+    def test_gating_only_gates_strong_too(self):
+        policy = GatingOnlyPolicy()
+        d = policy.decide(ConfidenceSignal.strong_low(100.0), True)
+        assert d.action is BranchAction.GATE
+
+    def test_three_region(self):
+        policy = ThreeRegionPolicy()
+        strong = policy.decide(ConfidenceSignal.strong_low(100.0), True)
+        assert strong.action is BranchAction.REVERSE
+        assert strong.final_prediction is False  # inverted
+        assert not strong.counts_toward_gating
+        weak = policy.decide(ConfidenceSignal.weak_low(-20.0), True)
+        assert weak.action is BranchAction.GATE
+        assert weak.final_prediction is True
+        high = policy.decide(ConfidenceSignal.high(-200.0), False)
+        assert high.action is BranchAction.NORMAL
+        assert high.final_prediction is False

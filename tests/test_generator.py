@@ -1,0 +1,176 @@
+"""Unit tests for repro.trace.generator."""
+
+import numpy as np
+import pytest
+
+from repro.trace.behaviors import BiasedBehavior, CorrelatedBehavior, LoopBehavior
+from repro.trace.generator import (
+    StaticBranch,
+    TraceGenerator,
+    WorkloadSpec,
+    make_uniform_workload,
+)
+
+
+def biased_spec(n=6, **spec_kwargs):
+    spec = WorkloadSpec(name="t", **spec_kwargs)
+    for i in range(n):
+        spec.add(
+            StaticBranch(
+                pc=0x400000 + 52 * i,
+                behavior=BiasedBehavior(1.0 if i % 2 == 0 else 0.0),
+            )
+        )
+    return spec
+
+
+class TestStaticBranch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticBranch(pc=-1, behavior=BiasedBehavior(0.5))
+        with pytest.raises(ValueError):
+            StaticBranch(pc=0, behavior=BiasedBehavior(0.5), weight=0)
+
+
+class TestWorkloadSpec:
+    def test_duplicate_pc_rejected(self):
+        spec = biased_spec()
+        with pytest.raises(ValueError):
+            spec.add(StaticBranch(pc=0x400000, behavior=BiasedBehavior(0.5)))
+
+    def test_normalized_weights(self):
+        spec = biased_spec(4)
+        w = spec.normalized_weights()
+        assert w.sum() == pytest.approx(1.0)
+        assert len(w) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", uops_per_branch=0.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", uop_jitter=-1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", block_repeat_mean=0.5)
+
+
+class TestTraceGenerator:
+    def test_exact_length(self):
+        trace = TraceGenerator(biased_spec(), seed=1).generate(997)
+        assert len(trace) == 997
+
+    def test_deterministic(self):
+        a = TraceGenerator(biased_spec(), seed=5).generate(500)
+        b = TraceGenerator(biased_spec(), seed=5).generate(500)
+        assert [(r.pc, r.taken, r.uops_before) for r in a] == [
+            (r.pc, r.taken, r.uops_before) for r in b
+        ]
+
+    def test_seed_changes_trace(self):
+        a = TraceGenerator(biased_spec(), seed=1).generate(500)
+        b = TraceGenerator(biased_spec(), seed=2).generate(500)
+        assert [r.pc for r in a] != [r.pc for r in b]
+
+    def test_uop_density(self):
+        spec = biased_spec(uops_per_branch=8.0)
+        trace = TraceGenerator(spec, seed=1).generate(4000)
+        mean_uops = trace.stats().total_uops / len(trace)
+        assert 6.5 < mean_uops < 9.5
+
+    def test_deterministic_outcomes_respected(self):
+        spec = biased_spec()
+        trace = TraceGenerator(spec, seed=1).generate(2000)
+        for rec in trace:
+            idx = (rec.pc - 0x400000) // 52
+            assert rec.taken == (idx % 2 == 0)
+
+    def test_block_structure_runs(self):
+        # With block repetition, consecutive same-pc runs must be common.
+        spec = biased_spec(9, block_size=3, block_repeat_mean=4.0)
+        trace = TraceGenerator(spec, seed=1).generate(4000)
+        pcs = [r.pc for r in trace]
+        repeats = sum(
+            1 for i in range(3, len(pcs)) if pcs[i] == pcs[i - 3]
+        )
+        assert repeats / len(pcs) > 0.4
+
+    def test_block_size_one_is_iid(self):
+        spec = biased_spec(9, block_size=1, block_repeat_mean=1.0)
+        trace = TraceGenerator(spec, seed=1).generate(4000)
+        pcs = [r.pc for r in trace]
+        repeats = sum(1 for i in range(1, len(pcs)) if pcs[i] == pcs[i - 1])
+        # i.i.d. selection over 9 equally weighted statics: ~1/9 repeats.
+        assert repeats / len(pcs) < 0.25
+
+    def test_loop_emits_full_instances(self):
+        spec = WorkloadSpec(name="loops")
+        spec.add(StaticBranch(pc=0x100, behavior=LoopBehavior(5, 5)))
+        spec.add(StaticBranch(pc=0x200, behavior=BiasedBehavior(1.0)))
+        trace = TraceGenerator(spec, seed=3).generate(3000)
+        # Every maximal run of the loop pc must consist of full 5-visit
+        # instances: 4 takens then an exit.
+        i = 0
+        records = list(trace)
+        while i < len(records) - 6:
+            if records[i].pc == 0x100:
+                run = []
+                while i < len(records) and records[i].pc == 0x100:
+                    run.append(records[i].taken)
+                    i += 1
+                if i >= len(records):
+                    break  # trace may truncate the last instance
+                # Runs are whole instances: length multiple of 5 and
+                # every 5th outcome is the not-taken exit.
+                assert len(run) % 5 == 0
+                for j, taken in enumerate(run):
+                    assert taken == ((j % 5) != 4)
+            else:
+                i += 1
+
+    def test_dynamic_weight_share(self):
+        # A static with 3x the weight should execute ~3x as often.
+        spec = WorkloadSpec(name="w", block_size=1, block_repeat_mean=1.0)
+        spec.add(StaticBranch(pc=0x100, behavior=BiasedBehavior(1.0), weight=3.0))
+        spec.add(StaticBranch(pc=0x200, behavior=BiasedBehavior(1.0), weight=1.0))
+        trace = TraceGenerator(spec, seed=1).generate(8000)
+        hot = sum(1 for r in trace if r.pc == 0x100)
+        assert 0.68 < hot / 8000 < 0.82
+
+    def test_loop_weight_accounts_for_instance_length(self):
+        # A loop static with weight equal to a plain static should get a
+        # similar *dynamic branch* share despite emitting whole
+        # instances per visit.
+        spec = WorkloadSpec(name="lw", block_size=1, block_repeat_mean=1.0)
+        spec.add(StaticBranch(pc=0x100, behavior=LoopBehavior(10, 10), weight=1.0))
+        spec.add(StaticBranch(pc=0x200, behavior=BiasedBehavior(1.0), weight=1.0))
+        trace = TraceGenerator(spec, seed=1).generate(12000)
+        loop_share = sum(1 for r in trace if r.pc == 0x100) / 12000
+        assert 0.35 < loop_share < 0.65
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(WorkloadSpec(name="empty"), seed=0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(biased_spec(), seed=0).generate(-1)
+
+    def test_correlated_sees_real_history(self):
+        # A branch that copies history bit 0 must equal the previous
+        # branch outcome in the generated trace.
+        spec = WorkloadSpec(name="c", block_size=1, block_repeat_mean=1.0)
+        spec.add(StaticBranch(pc=0x100, behavior=BiasedBehavior(0.5)))
+        spec.add(
+            StaticBranch(pc=0x200, behavior=CorrelatedBehavior((0,), noise=0.0))
+        )
+        trace = TraceGenerator(spec, seed=9).generate(3000)
+        records = list(trace)
+        for prev, cur in zip(records, records[1:]):
+            if cur.pc == 0x200:
+                assert cur.taken == prev.taken
+
+
+class TestMakeUniformWorkload:
+    def test_builds_equal_weights(self):
+        spec = make_uniform_workload("u", [BiasedBehavior(0.5)] * 4)
+        assert spec.static_count == 4
+        assert (spec.normalized_weights() == 0.25).all()

@@ -1,0 +1,80 @@
+"""Unit tests for repro.trace.io."""
+
+import pytest
+
+from repro.trace.io import load_trace, save_trace
+from repro.trace.record import BranchRecord, Trace
+
+
+def sample_trace():
+    records = [
+        BranchRecord(pc=0x400000, taken=True, uops_before=7),
+        BranchRecord(pc=0x400034, taken=False, uops_before=0),
+        BranchRecord(pc=0x400000, taken=True, uops_before=12),
+    ]
+    return Trace(records, name="sample", seed=99)
+
+
+def assert_traces_equal(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert (ra.pc, ra.taken, ra.uops_before) == (rb.pc, rb.taken, rb.uops_before)
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.btrace")
+        save_trace(sample_trace(), path)
+        loaded = load_trace(path)
+        assert_traces_equal(sample_trace(), loaded)
+        assert loaded.name == "sample"
+        assert loaded.seed == 99
+
+    def test_human_readable(self, tmp_path):
+        path = str(tmp_path / "t.btrace")
+        save_trace(sample_trace(), path)
+        text = open(path).read()
+        assert "# name: sample" in text
+        assert "0x400000 1 7" in text
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.btrace")
+        with open(path, "w") as fh:
+            fh.write("0x400000 1\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_trace(path)
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = str(tmp_path / "c.btrace")
+        with open(path, "w") as fh:
+            fh.write("# a comment\n\n0x10 1 3\n")
+        loaded = load_trace(path)
+        assert len(loaded) == 1
+        assert loaded[0].uops_before == 3
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_trace(sample_trace(), path)
+        loaded = load_trace(path)
+        assert_traces_equal(sample_trace(), loaded)
+        assert loaded.name == "sample"
+        assert loaded.seed == 99
+
+    def test_none_seed_roundtrip(self, tmp_path):
+        path = str(tmp_path / "n.npz")
+        save_trace(Trace([BranchRecord(pc=4, taken=True)], name="x"), path)
+        assert load_trace(path).seed is None
+
+
+class TestFormatDetection:
+    def test_unknown_extension_rejected(self):
+        with pytest.raises(ValueError, match="extension"):
+            save_trace(sample_trace(), "trace.bin")
+
+    def test_generated_trace_roundtrip(self, tmp_path, simple_trace):
+        for ext in (".btrace", ".npz"):
+            path = str(tmp_path / f"g{ext}")
+            save_trace(simple_trace, path)
+            assert_traces_equal(simple_trace, load_trace(path))

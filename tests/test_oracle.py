@@ -1,0 +1,79 @@
+"""Unit tests for the oracle confidence bound."""
+
+import pytest
+
+from repro.core.estimator import AlwaysHighEstimator
+from repro.core.frontend import FrontEnd
+from repro.core.oracle import oracle_events
+from repro.core.reversal import GatingOnlyPolicy, ThreeRegionPolicy
+from repro.core.types import ConfidenceLevel
+from repro.predictors.hybrid import make_baseline_hybrid
+
+
+@pytest.fixture()
+def events(simple_trace):
+    frontend = FrontEnd(make_baseline_hybrid(), AlwaysHighEstimator())
+    return [frontend.process(r) for r in simple_trace]
+
+
+class TestPerfectOracle:
+    def test_flags_exactly_the_mispredictions(self, events):
+        oracled = oracle_events(events, GatingOnlyPolicy())
+        for orig, new in zip(events, oracled):
+            assert new.signal.low_confidence == (not orig.predictor_correct)
+
+    def test_strong_flags_enable_perfect_reversal(self, events):
+        oracled = oracle_events(events, ThreeRegionPolicy())
+        for ev in oracled:
+            if not ev.predictor_correct:
+                assert ev.signal.level is ConfidenceLevel.STRONG_LOW
+                assert ev.final_correct  # reversal fixed it
+            else:
+                assert ev.final_correct
+
+    def test_originals_untouched(self, events):
+        before = [(e.signal.low_confidence, e.final_prediction) for e in events]
+        oracle_events(events, GatingOnlyPolicy())
+        after = [(e.signal.low_confidence, e.final_prediction) for e in events]
+        assert before == after
+
+
+class TestDegradedOracle:
+    def test_coverage_reduces_flags(self, events):
+        full = oracle_events(events, GatingOnlyPolicy(), coverage=1.0)
+        half = oracle_events(events, GatingOnlyPolicy(), coverage=0.5, seed=3)
+        n_full = sum(e.signal.low_confidence for e in full)
+        n_half = sum(e.signal.low_confidence for e in half)
+        assert 0 < n_half < n_full
+
+    def test_accuracy_injects_false_flags(self, events):
+        degraded = oracle_events(
+            events, GatingOnlyPolicy(), coverage=1.0, accuracy=0.5, seed=3
+        )
+        false_flags = sum(
+            1
+            for e in degraded
+            if e.signal.low_confidence and e.predictor_correct
+        )
+        true_flags = sum(
+            1
+            for e in degraded
+            if e.signal.low_confidence and not e.predictor_correct
+        )
+        assert false_flags > 0
+        # PVN should be near the requested 0.5.
+        pvn = true_flags / (true_flags + false_flags)
+        assert 0.3 < pvn < 0.7
+
+    def test_deterministic_given_seed(self, events):
+        a = oracle_events(events, GatingOnlyPolicy(), coverage=0.5, seed=9)
+        b = oracle_events(events, GatingOnlyPolicy(), coverage=0.5, seed=9)
+        assert [e.signal.low_confidence for e in a] == [
+            e.signal.low_confidence for e in b
+        ]
+
+    def test_validation(self, events):
+        with pytest.raises(ValueError):
+            oracle_events(events, GatingOnlyPolicy(), coverage=1.5)
+        with pytest.raises(ValueError):
+            oracle_events(events, GatingOnlyPolicy(), accuracy=0.0)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.pipeline.config."""
+
+import pytest
+
+from repro.pipeline.config import (
+    BASELINE_40X4,
+    PIPELINE_PRESETS,
+    STANDARD_20X4,
+    WIDE_20X8,
+    PipelineConfig,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = PipelineConfig()
+        assert cfg.depth == 40
+        assert cfg.fetch_width == 4
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(fetch_width=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(depth=1)
+        with pytest.raises(ValueError):
+            PipelineConfig(rob_size=2, fetch_width=4)
+        with pytest.raises(ValueError):
+            PipelineConfig(base_uop_cycles=-1)
+        with pytest.raises(ValueError):
+            PipelineConfig(resolve_jitter=-1)
+        with pytest.raises(ValueError):
+            PipelineConfig(estimator_latency=-1)
+        with pytest.raises(ValueError):
+            PipelineConfig(gating_threshold=0)
+
+
+class TestDerived:
+    def test_fetch_cycles(self):
+        assert PipelineConfig(fetch_width=4).uop_fetch_cycles == 0.25
+
+    def test_retire_rate(self):
+        assert PipelineConfig(base_uop_cycles=0.5).retire_rate == 2.0
+
+    def test_wrong_path_cap_is_window(self):
+        assert PipelineConfig(rob_size=128).wrong_path_cap == 128
+
+    def test_with_gating(self):
+        cfg = BASELINE_40X4.with_gating(3)
+        assert cfg.gating_threshold == 3
+        assert cfg.depth == BASELINE_40X4.depth
+        cfg2 = BASELINE_40X4.with_gating(2, estimator_latency=9)
+        assert cfg2.estimator_latency == 9
+
+    def test_label(self):
+        assert BASELINE_40X4.label() == "40c/4w"
+        assert WIDE_20X8.label() == "20c/8w"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BASELINE_40X4.depth = 10
+
+
+class TestPresets:
+    def test_paper_machines(self):
+        assert PIPELINE_PRESETS["40c4w"].depth == 40
+        assert PIPELINE_PRESETS["20c8w"].fetch_width == 8
+        assert PIPELINE_PRESETS["20c4w"].depth == 20
+
+    def test_table1_window(self):
+        assert BASELINE_40X4.rob_size == 128
+
+    def test_wide_machine_faster_backend(self):
+        assert WIDE_20X8.retire_rate > STANDARD_20X4.retire_rate

@@ -1,0 +1,96 @@
+"""Unit tests for predictor state persistence."""
+
+import pytest
+
+from repro.common.state import StateError
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.hybrid import (
+    make_baseline_hybrid,
+    make_gshare_perceptron_hybrid,
+)
+from repro.predictors.perceptron_predictor import PerceptronPredictor
+
+
+def warm(predictor, trace):
+    for rec in trace:
+        predictor.update(rec.pc, rec.taken, predictor.predict(rec.pc))
+    return predictor
+
+
+class TestComponentStateDicts:
+    def test_bimodal_roundtrip(self, simple_trace):
+        src = warm(BimodalPredictor(entries=256), simple_trace.slice(0, 1000))
+        dst = BimodalPredictor(entries=256)
+        dst.load_state_dict(src.state_dict())
+        for pc in {r.pc for r in simple_trace.records[:100]}:
+            assert dst.predict(pc) == src.predict(pc)
+
+    def test_gshare_roundtrip(self, simple_trace):
+        src = warm(
+            GSharePredictor(entries=1024, history_length=8),
+            simple_trace.slice(0, 1000),
+        )
+        dst = GSharePredictor(entries=1024, history_length=8)
+        dst.load_state_dict(src.state_dict())
+        assert dst.history.bits == src.history.bits
+        for pc in {r.pc for r in simple_trace.records[:100]}:
+            assert dst.predict(pc) == src.predict(pc)
+
+    def test_perceptron_roundtrip(self, simple_trace):
+        src = warm(
+            PerceptronPredictor(entries=64, history_length=12),
+            simple_trace.slice(0, 1000),
+        )
+        dst = PerceptronPredictor(entries=64, history_length=12)
+        dst.load_state_dict(src.state_dict())
+        for pc in {r.pc for r in simple_trace.records[:50]}:
+            assert dst.output(pc) == src.output(pc)
+
+
+class TestHybridPersistence:
+    def test_baseline_hybrid_roundtrip(self, tmp_path, simple_trace):
+        src = warm(make_baseline_hybrid(), simple_trace)
+        path = str(tmp_path / "hybrid.npz")
+        src.save(path)
+        dst = make_baseline_hybrid()
+        dst.load(path)
+        assert dst.history.bits == src.history.bits
+        mismatches = sum(
+            1
+            for rec in simple_trace.records[:500]
+            if dst.predict(rec.pc) != src.predict(rec.pc)
+        )
+        assert mismatches == 0
+
+    def test_warm_predictor_beats_cold(self, tmp_path, simple_trace):
+        """Persisted state must actually carry learning across runs."""
+        src = warm(make_baseline_hybrid(), simple_trace)
+        path = str(tmp_path / "hybrid.npz")
+        src.save(path)
+
+        warm_pred = make_baseline_hybrid()
+        warm_pred.load(path)
+        cold_pred = make_baseline_hybrid()
+        for rec in simple_trace.records[:800]:
+            warm_pred.update(rec.pc, rec.taken, warm_pred.predict(rec.pc))
+            cold_pred.update(rec.pc, rec.taken, cold_pred.predict(rec.pc))
+        assert warm_pred.stats.accuracy >= cold_pred.stats.accuracy
+
+    def test_gshare_perceptron_hybrid_roundtrip(self, tmp_path, simple_trace):
+        src = warm(make_gshare_perceptron_hybrid(), simple_trace.slice(0, 2000))
+        path = str(tmp_path / "gp.npz")
+        src.save(path)
+        dst = make_gshare_perceptron_hybrid()
+        dst.load(path)
+        for rec in simple_trace.records[:200]:
+            assert dst.predict(rec.pc) == src.predict(rec.pc)
+
+    def test_kind_mismatch_rejected(self, tmp_path, simple_trace):
+        from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+
+        est = PerceptronConfidenceEstimator()
+        path = str(tmp_path / "est.npz")
+        est.save(path)
+        with pytest.raises(StateError):
+            make_baseline_hybrid().load(path)

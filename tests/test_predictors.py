@@ -1,0 +1,187 @@
+"""Unit tests for the predictor family (bimodal, gshare, local, static)."""
+
+import pytest
+
+from repro.predictors.base import PredictorStats
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.local import LocalPredictor
+from repro.predictors.static import AlwaysNotTakenPredictor, AlwaysTakenPredictor
+
+
+class TestPredictorStats:
+    def test_accuracy(self):
+        stats = PredictorStats()
+        for correct in (True, True, False, True):
+            stats.record(correct)
+        assert stats.predictions == 4
+        assert stats.mispredictions == 1
+        assert stats.accuracy == pytest.approx(0.75)
+        assert stats.misprediction_rate == pytest.approx(0.25)
+
+    def test_empty(self):
+        stats = PredictorStats()
+        assert stats.accuracy == 0.0
+        assert stats.misprediction_rate == 0.0
+
+    def test_reset(self):
+        stats = PredictorStats()
+        stats.record(False)
+        stats.reset()
+        assert stats.predictions == 0
+
+
+class TestStaticPredictors:
+    def test_always_taken(self):
+        p = AlwaysTakenPredictor()
+        assert p.predict(0x1234)
+        p.update(0x1234, False, True)
+        assert p.stats.mispredictions == 1
+        assert p.storage_bits == 0
+
+    def test_always_not_taken(self):
+        p = AlwaysNotTakenPredictor()
+        assert not p.predict(0x1234)
+        p.update(0x1234, False, False)
+        assert p.stats.mispredictions == 0
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        p = BimodalPredictor(entries=64)
+        pc = 0x400000
+        for _ in range(4):
+            p.update(pc, False, p.predict(pc))
+        assert p.predict(pc) is False
+
+    def test_hysteresis(self):
+        p = BimodalPredictor(entries=64)
+        pc = 0x400000
+        for _ in range(4):
+            p.update(pc, True, p.predict(pc))
+        # One contrary outcome must not flip a saturated counter.
+        p.update(pc, False, p.predict(pc))
+        assert p.predict(pc) is True
+
+    def test_update_derives_prediction_when_missing(self):
+        p = BimodalPredictor(entries=64)
+        p.update(0x40, True)
+        assert p.stats.predictions == 1
+
+    def test_aliasing(self):
+        p = BimodalPredictor(entries=16)
+        pc_a = 0x400000
+        pc_b = pc_a + 16 * 4  # same index after pc>>2 mod 16
+        for _ in range(4):
+            p.update(pc_a, True, p.predict(pc_a))
+        assert p.predict(pc_b) is True
+
+    def test_confidence_hint_range(self):
+        p = BimodalPredictor(entries=16)
+        hint = p.confidence_hint(0x40)
+        assert hint is not None and 0.0 <= hint <= 1.0
+        for _ in range(4):
+            p.update(0x40, True, p.predict(0x40))
+        assert p.confidence_hint(0x40) == pytest.approx(1.0)
+
+    def test_storage(self):
+        assert BimodalPredictor(entries=16384).storage_bits == 32768
+
+    def test_reset(self):
+        p = BimodalPredictor(entries=16)
+        for _ in range(4):
+            p.update(0x40, False, p.predict(0x40))
+        p.reset()
+        assert p.stats.predictions == 0
+        assert p.predict(0x40) is True  # back to weakly-taken init
+
+
+class TestGShare:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(entries=1000)
+
+    def test_learns_history_correlation(self):
+        p = GSharePredictor(entries=1024, history_length=4)
+        pc = 0x400000
+        # Outcome = history bit 1; drive history via updates.
+        wrong = 0
+        for i in range(400):
+            taken = bool((p.history.bits >> 1) & 1)
+            pred = p.predict(pc)
+            if i > 100 and pred != taken:
+                wrong += 1
+            p.update(pc, taken, pred)
+        assert wrong < 15
+
+    def test_context_separation(self):
+        p = GSharePredictor(entries=1024, history_length=2)
+        pc = 0x400000
+        # Same pc, different history contexts learn different outcomes.
+        p.history.set_bits(0b00)
+        for _ in range(3):
+            p.train(pc, True, p.predict(pc))
+        p.history.set_bits(0b11)
+        for _ in range(3):
+            p.train(pc, False, p.predict(pc))
+        p.history.set_bits(0b00)
+        assert p.predict(pc) is True
+        p.history.set_bits(0b11)
+        assert p.predict(pc) is False
+
+    def test_shared_history_not_shifted(self):
+        from repro.common.history import GlobalHistoryRegister
+
+        ghr = GlobalHistoryRegister(8)
+        p = GSharePredictor(entries=256, history_length=8, shared_history=ghr)
+        p.update(0x40, True, p.predict(0x40))
+        assert ghr.bits == 0  # owner shifts, not the component
+
+    def test_own_history_shifts(self):
+        p = GSharePredictor(entries=256, history_length=8)
+        p.update(0x40, True, p.predict(0x40))
+        assert p.history.bits == 1
+
+    def test_shared_history_too_short_rejected(self):
+        from repro.common.history import GlobalHistoryRegister
+
+        with pytest.raises(ValueError):
+            GSharePredictor(
+                entries=256, history_length=10,
+                shared_history=GlobalHistoryRegister(4),
+            )
+
+    def test_storage(self):
+        assert GSharePredictor(entries=65536).storage_bits == 131072
+
+
+class TestLocal:
+    def test_learns_local_pattern(self):
+        p = LocalPredictor(history_entries=64, history_length=6)
+        pc = 0x400000
+        pattern = [True, True, False]
+        wrong = 0
+        for i in range(600):
+            taken = pattern[i % 3]
+            pred = p.predict(pc)
+            if i > 200 and pred != taken:
+                wrong += 1
+            p.update(pc, taken, pred)
+        assert wrong < 20
+
+    def test_local_pattern_exposed(self):
+        p = LocalPredictor(history_entries=64, history_length=4)
+        pc = 0x40
+        for taken in (True, False, True):
+            p.update(pc, taken, p.predict(pc))
+        assert p.local_pattern(pc) == 0b101
+
+    def test_reset(self):
+        p = LocalPredictor(history_entries=64, history_length=4)
+        p.update(0x40, True, p.predict(0x40))
+        p.reset()
+        assert p.local_pattern(0x40) == 0
+
+    def test_storage_counts_both_levels(self):
+        p = LocalPredictor(history_entries=2048, history_length=10)
+        assert p.storage_bits == 2048 * 10 + (1 << 10) * 2

@@ -1,0 +1,68 @@
+"""Unit tests for repro.trace.record."""
+
+import pytest
+
+from repro.trace.record import BranchRecord, Trace
+
+
+class TestBranchRecord:
+    def test_uops_includes_branch(self):
+        rec = BranchRecord(pc=0x400000, taken=True, uops_before=7)
+        assert rec.uops == 8
+
+    def test_frozen(self):
+        rec = BranchRecord(pc=0x400000, taken=True)
+        with pytest.raises(AttributeError):
+            rec.taken = False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchRecord(pc=-1, taken=True)
+        with pytest.raises(ValueError):
+            BranchRecord(pc=0, taken=True, uops_before=-1)
+
+
+class TestTrace:
+    def make(self):
+        records = [
+            BranchRecord(pc=0x100, taken=True, uops_before=7),
+            BranchRecord(pc=0x200, taken=False, uops_before=5),
+            BranchRecord(pc=0x100, taken=True, uops_before=9),
+        ]
+        return Trace(records, name="t", seed=3)
+
+    def test_len_iter_getitem(self):
+        trace = self.make()
+        assert len(trace) == 3
+        assert [r.pc for r in trace] == [0x100, 0x200, 0x100]
+        assert trace[1].pc == 0x200
+
+    def test_metadata(self):
+        trace = self.make()
+        assert trace.name == "t"
+        assert trace.seed == 3
+
+    def test_stats(self):
+        stats = self.make().stats()
+        assert stats.branches == 3
+        assert stats.taken == 2
+        assert stats.total_uops == 8 + 6 + 10
+        assert stats.static_branches == 2
+        assert stats.taken_fraction == pytest.approx(2 / 3)
+        assert stats.branches_per_kuop == pytest.approx(3000 / 24)
+
+    def test_stats_cached(self):
+        trace = self.make()
+        assert trace.stats() is trace.stats()
+
+    def test_slice(self):
+        sub = self.make().slice(1)
+        assert len(sub) == 2
+        assert sub[0].pc == 0x200
+        assert sub.seed == 3
+
+    def test_empty_trace_stats(self):
+        stats = Trace([]).stats()
+        assert stats.branches == 0
+        assert stats.taken_fraction == 0.0
+        assert stats.branches_per_kuop == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for repro.pipeline.runner (machine comparisons)."""
+
+import pytest
+
+from repro.core.estimator import AlwaysHighEstimator
+from repro.core.jrs import JRSEstimator
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.core.reversal import GatingOnlyPolicy, NoSpeculationControl
+from repro.pipeline.config import BASELINE_40X4
+from repro.pipeline.runner import GatingRun, MachineRun, compare_policies, run_machine
+from repro.predictors.hybrid import make_baseline_hybrid
+
+
+class TestRunMachine:
+    def test_baseline_run(self, simple_trace):
+        run = run_machine(
+            simple_trace,
+            make_baseline_hybrid(),
+            AlwaysHighEstimator(),
+            NoSpeculationControl(),
+            BASELINE_40X4,
+            warmup=1000,
+        )
+        assert run.stats.branches == len(simple_trace) - 1000
+        assert run.cycles > 0
+        assert run.total_uops_executed >= run.stats.correct_path_uops
+
+    def test_warmup_validation(self, simple_trace):
+        with pytest.raises(ValueError):
+            run_machine(
+                simple_trace,
+                make_baseline_hybrid(),
+                AlwaysHighEstimator(),
+                NoSpeculationControl(),
+                BASELINE_40X4,
+                warmup=-5,
+            )
+
+    def test_frontend_metrics_populated(self, simple_trace):
+        run = run_machine(
+            simple_trace,
+            make_baseline_hybrid(),
+            JRSEstimator(threshold=7),
+            GatingOnlyPolicy(),
+            BASELINE_40X4,
+            warmup=1000,
+        )
+        assert run.frontend.metrics.overall.total == run.stats.branches
+
+
+class TestComparePolicies:
+    def test_gating_reduces_uops(self, gzip_trace):
+        comparison = compare_policies(
+            gzip_trace,
+            make_baseline_hybrid,
+            lambda: PerceptronConfidenceEstimator(threshold=-25),
+            GatingOnlyPolicy(),
+            BASELINE_40X4.with_gating(1),
+            warmup=4000,
+        )
+        assert comparison.uop_reduction_pct > 0
+        # Gating never reduces *correct-path* work.
+        assert (
+            comparison.policy.stats.correct_path_uops
+            == comparison.baseline.stats.correct_path_uops
+        )
+
+    def test_speedup_is_negative_loss(self, simple_trace):
+        comparison = compare_policies(
+            simple_trace,
+            make_baseline_hybrid,
+            lambda: JRSEstimator(threshold=7),
+            GatingOnlyPolicy(),
+            BASELINE_40X4,
+            warmup=1000,
+        )
+        assert comparison.speedup_pct == pytest.approx(
+            -comparison.performance_loss_pct
+        )
+
+    def test_null_policy_matches_baseline(self, simple_trace):
+        comparison = compare_policies(
+            simple_trace,
+            make_baseline_hybrid,
+            AlwaysHighEstimator,
+            NoSpeculationControl(),
+            BASELINE_40X4,
+            warmup=1000,
+        )
+        assert comparison.uop_reduction_pct == pytest.approx(0.0, abs=1e-9)
+        assert comparison.performance_loss_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_summary_keys(self, simple_trace):
+        comparison = compare_policies(
+            simple_trace,
+            make_baseline_hybrid,
+            AlwaysHighEstimator,
+            NoSpeculationControl(),
+            BASELINE_40X4,
+        )
+        summary = comparison.summary()
+        assert set(summary) >= {"U_pct", "P_pct", "baseline_cycles"}

@@ -1,0 +1,101 @@
+"""Unit tests for the Smith and Tyson pattern confidence estimators."""
+
+import pytest
+
+from repro.core.pattern import PatternEstimator, default_high_confidence_patterns
+from repro.core.smith import SmithEstimator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.local import LocalPredictor
+from repro.predictors.static import AlwaysTakenPredictor
+
+
+class TestSmithEstimator:
+    def test_requires_counter_predictor(self):
+        with pytest.raises(TypeError):
+            SmithEstimator(AlwaysTakenPredictor())
+
+    def test_weak_counter_is_low_confidence(self):
+        predictor = BimodalPredictor(entries=64)
+        est = SmithEstimator(predictor, strength_threshold=0.9)
+        # Fresh counters sit at the weak midpoint.
+        assert est.estimate(0x40, True).low_confidence
+
+    def test_saturated_counter_is_high_confidence(self):
+        predictor = BimodalPredictor(entries=64)
+        est = SmithEstimator(predictor, strength_threshold=0.9)
+        pc = 0x40
+        for _ in range(4):
+            predictor.update(pc, True, predictor.predict(pc))
+        assert not est.estimate(pc, True).low_confidence
+
+    def test_zero_storage(self):
+        est = SmithEstimator(BimodalPredictor(entries=64))
+        assert est.storage_bits == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SmithEstimator(BimodalPredictor(entries=64), strength_threshold=0.0)
+
+    def test_train_is_noop(self):
+        predictor = BimodalPredictor(entries=64)
+        est = SmithEstimator(predictor)
+        sig = est.estimate(0x40, True)
+        est.train(0x40, True, False, sig)  # must not raise or mutate
+        assert est.estimate(0x40, True).raw == sig.raw
+
+
+class TestDefaultPatterns:
+    def test_includes_extremes(self):
+        patterns = default_high_confidence_patterns(4, max_flips=0)
+        assert patterns == frozenset({0b0000, 0b1111})
+
+    def test_one_flip(self):
+        patterns = default_high_confidence_patterns(3, max_flips=1)
+        # 0 or 1 ones, and 2 or 3 ones.
+        assert patterns == frozenset({0b000, 0b001, 0b010, 0b100,
+                                      0b011, 0b101, 0b110, 0b111})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_high_confidence_patterns(0)
+        with pytest.raises(ValueError):
+            default_high_confidence_patterns(4, max_flips=-1)
+
+
+class TestPatternEstimator:
+    def test_steady_pattern_is_high_confidence(self):
+        local = LocalPredictor(history_entries=64, history_length=4)
+        est = PatternEstimator(local)
+        pc = 0x40
+        for _ in range(8):
+            local.update(pc, True, local.predict(pc))
+        assert not est.estimate(pc, True).low_confidence
+
+    def test_mixed_pattern_is_low_confidence(self):
+        local = LocalPredictor(history_entries=64, history_length=4)
+        est = PatternEstimator(local)
+        pc = 0x40
+        for taken in (True, False, True, False):
+            local.update(pc, taken, local.predict(pc))
+        assert est.estimate(pc, True).low_confidence
+
+    def test_explicit_pattern_set(self):
+        local = LocalPredictor(history_entries=64, history_length=4)
+        est = PatternEstimator(local, high_patterns={0b1010})
+        pc = 0x40
+        for taken in (True, False, True, False):
+            local.update(pc, taken, local.predict(pc))
+        # Shifts: T->1, F->10, T->101, F->1010 (a trusted pattern).
+        assert not est.estimate(pc, True).low_confidence
+        local.update(pc, True, local.predict(pc))
+        # Now 0101, which is not in the trusted set.
+        assert est.estimate(pc, True).low_confidence
+
+    def test_pattern_out_of_range_rejected(self):
+        local = LocalPredictor(history_entries=64, history_length=4)
+        with pytest.raises(ValueError):
+            PatternEstimator(local, high_patterns={0b10000})
+
+    def test_zero_own_storage(self):
+        local = LocalPredictor(history_entries=64, history_length=4)
+        assert PatternEstimator(local).storage_bits == 0

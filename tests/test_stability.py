@@ -1,0 +1,83 @@
+"""Unit tests for multi-seed stability analysis."""
+
+import pytest
+
+from repro.analysis.stability import MetricSpread, sweep_seeds
+
+
+class TestMetricSpread:
+    def test_statistics(self):
+        spread = MetricSpread(name="m", values=(1.0, 2.0, 3.0))
+        assert spread.n == 3
+        assert spread.mean == pytest.approx(2.0)
+        assert spread.std == pytest.approx(1.0)
+        assert spread.min == 1.0
+        assert spread.max == 3.0
+        assert spread.relative_std == pytest.approx(0.5)
+
+    def test_single_sample(self):
+        spread = MetricSpread(name="m", values=(4.0,))
+        assert spread.std == 0.0
+        assert spread.mean == 4.0
+
+    def test_zero_mean_relative_std(self):
+        spread = MetricSpread(name="m", values=(-1.0, 1.0))
+        assert spread.relative_std == 0.0
+
+    def test_as_dict(self):
+        d = MetricSpread(name="x", values=(1.0, 1.0)).as_dict()
+        assert d["metric"] == "x"
+        assert d["rel std %"] == 0.0
+
+
+class TestSweepSeeds:
+    def test_aggregates_per_metric(self):
+        spreads = sweep_seeds(
+            lambda seed: {"a": float(seed), "b": 2.0 * seed}, seeds=(1, 2, 3)
+        )
+        by_name = {s.name: s for s in spreads}
+        assert by_name["a"].values == (1.0, 2.0, 3.0)
+        assert by_name["b"].mean == pytest.approx(4.0)
+
+    def test_metric_set_must_match(self):
+        def measure(seed):
+            return {"a": 1.0} if seed == 1 else {"b": 1.0}
+
+        with pytest.raises(ValueError, match="expected"):
+            sweep_seeds(measure, seeds=(1, 2))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_seeds(lambda s: {"a": 1.0}, seeds=())
+
+    def test_sorted_output(self):
+        spreads = sweep_seeds(lambda s: {"z": 1.0, "a": 2.0}, seeds=(1,))
+        assert [s.name for s in spreads] == ["a", "z"]
+
+
+class TestExperimentIntegration:
+    def test_seed_stability_experiment(self):
+        from repro.experiments import seed_stability
+        from repro.experiments.common import ExperimentSettings
+
+        settings = ExperimentSettings(
+            n_branches=5_000, warmup=1_500, benchmarks=("gzip",)
+        )
+        result = seed_stability.run(settings, seeds=(1, 2))
+        assert result.spread("accuracy_ratio").n == 2
+        assert result.spread("perceptron_pvn").mean > 0
+        assert "Seed stability" in result.format()
+
+    def test_history_ablation_experiment(self):
+        from repro.experiments import ablation_history
+        from repro.experiments.common import ExperimentSettings
+
+        settings = ExperimentSettings(
+            n_branches=5_000, warmup=1_500, benchmarks=("gzip",)
+        )
+        result = ablation_history.run(settings)
+        assert len(result.rows) == len(ablation_history.HISTORY_LENGTHS)
+        for row in result.rows:
+            assert 0 <= row.pvn <= 1
+            assert row.flagged_mispredicts_per_kbranch >= 0
+        assert "History-reach" in result.format()

@@ -1,0 +1,120 @@
+"""Unit tests for state serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.common.counters import CounterTable
+from repro.common.perceptron import PerceptronArray
+from repro.common.state import StateError, load_state, save_state
+from repro.core.jrs import JRSEstimator
+from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+
+
+class TestSaveLoadState:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_state(path, "thing", {"a": np.arange(5), "b": 7})
+        state = load_state(path, "thing")
+        assert list(state["a"]) == [0, 1, 2, 3, 4]
+        assert int(state["b"]) == 7
+
+    def test_kind_mismatch(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_state(path, "thing", {"a": 1})
+        with pytest.raises(StateError, match="expected"):
+            load_state(path, "other")
+
+    def test_not_a_state_file(self, tmp_path):
+        path = str(tmp_path / "raw.npz")
+        np.savez(path, x=np.arange(3))
+        with pytest.raises(StateError, match="not a repro state file"):
+            load_state(path, "thing")
+
+    def test_reserved_keys_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_state(str(tmp_path / "s.npz"), "thing", {"__kind__": 1})
+
+
+class TestStructureStateDicts:
+    def test_counter_table_roundtrip(self):
+        src = CounterTable(entries=8, bits=3)
+        for i in range(8):
+            src.write(i, i % 8)
+        dst = CounterTable(entries=8, bits=3)
+        dst.load_state_dict(src.state_dict())
+        assert (dst.snapshot() == src.snapshot()).all()
+
+    def test_counter_table_geometry_checked(self):
+        src = CounterTable(entries=8, bits=3)
+        dst = CounterTable(entries=16, bits=3)
+        with pytest.raises(ValueError):
+            dst.load_state_dict(src.state_dict())
+
+    def test_counter_table_range_checked(self):
+        dst = CounterTable(entries=4, bits=2)
+        with pytest.raises(ValueError):
+            dst.load_state_dict({"table": np.array([0, 1, 2, 9])})
+
+    def test_perceptron_array_roundtrip(self):
+        src = PerceptronArray(entries=4, history_length=8)
+        x = np.array([1, -1] * 4, dtype=np.int8)
+        for _ in range(5):
+            src.train(0, x, 1)
+        dst = PerceptronArray(entries=4, history_length=8)
+        dst.load_state_dict(src.state_dict())
+        assert dst.output(0, x) == src.output(0, x)
+
+    def test_perceptron_array_geometry_checked(self):
+        src = PerceptronArray(entries=4, history_length=8)
+        dst = PerceptronArray(entries=4, history_length=16)
+        with pytest.raises(ValueError):
+            dst.load_state_dict(src.state_dict())
+
+
+class TestEstimatorPersistence:
+    def warm_perceptron(self, simple_trace):
+        from repro.core.frontend import FrontEnd
+        from repro.predictors.hybrid import make_baseline_hybrid
+
+        est = PerceptronConfidenceEstimator(threshold=0)
+        FrontEnd(make_baseline_hybrid(), est).run(simple_trace.slice(0, 2000))
+        return est
+
+    def test_perceptron_estimator_roundtrip(self, tmp_path, simple_trace):
+        src = self.warm_perceptron(simple_trace)
+        path = str(tmp_path / "ce.npz")
+        src.save(path)
+        dst = PerceptronConfidenceEstimator(threshold=0)
+        dst.load(path)
+        assert (dst.array.snapshot() == src.array.snapshot()).all()
+        assert dst.history.bits == src.history.bits
+        pc = simple_trace[0].pc
+        assert dst.output(pc) == src.output(pc)
+
+    def test_perceptron_geometry_mismatch(self, tmp_path, simple_trace):
+        src = self.warm_perceptron(simple_trace)
+        path = str(tmp_path / "ce.npz")
+        src.save(path)
+        other = PerceptronConfidenceEstimator(threshold=0, history_length=16)
+        with pytest.raises(StateError):
+            other.load(path)
+
+    def test_jrs_roundtrip(self, tmp_path):
+        src = JRSEstimator(threshold=7)
+        pc = 0x40
+        for _ in range(9):
+            src.train(pc, True, True, src.estimate(pc, True))
+            src.shift_history(True)
+        path = str(tmp_path / "jrs.npz")
+        src.save(path)
+        dst = JRSEstimator(threshold=7)
+        dst.load(path)
+        assert dst.history.bits == src.history.bits
+        assert dst.estimate(pc, True).raw == src.estimate(pc, True).raw
+
+    def test_jrs_kind_protected(self, tmp_path, simple_trace):
+        perc = self.warm_perceptron(simple_trace)
+        path = str(tmp_path / "ce.npz")
+        perc.save(path)
+        with pytest.raises(StateError):
+            JRSEstimator(threshold=7).load(path)

@@ -1,0 +1,103 @@
+"""Unit tests for windowed metric timelines and the warm-up curve."""
+
+import pytest
+
+from repro.analysis.timeline import MetricTimeline
+
+
+class TestMetricTimeline:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MetricTimeline(window_size=0)
+
+    def test_windows_fill_in_order(self):
+        t = MetricTimeline(window_size=3)
+        for i in range(7):
+            t.record(low_confidence=False, mispredicted=False)
+        points = t.points(complete_only=False)
+        assert [p.window_index for p in points] == [0, 1, 2]
+        assert points[0].matrix.total == 3
+        assert points[2].matrix.total == 1
+
+    def test_complete_only_drops_partial_tail(self):
+        t = MetricTimeline(window_size=4)
+        for _ in range(10):
+            t.record(False, False)
+        assert len(t.points()) == 2
+        assert len(t.points(complete_only=False)) == 3
+
+    def test_metrics_split_by_window(self):
+        t = MetricTimeline(window_size=2)
+        # Window 0: both mispredicted and flagged (PVN 1.0).
+        t.record(True, True)
+        t.record(True, True)
+        # Window 1: flags on correct branches (PVN 0.0).
+        t.record(True, False)
+        t.record(True, False)
+        trend = t.trend("pvn")
+        assert trend == [1.0, 0.0]
+
+    def test_trend_validation(self):
+        with pytest.raises(ValueError):
+            MetricTimeline().trend("bogus")
+
+    def test_improvement(self):
+        t = MetricTimeline(window_size=2)
+        t.record(True, False)
+        t.record(True, False)
+        t.record(True, True)
+        t.record(True, True)
+        assert t.improvement("pvn") == pytest.approx(1.0)
+
+    def test_improvement_needs_two_windows(self):
+        t = MetricTimeline(window_size=10)
+        t.record(True, True)
+        assert t.improvement() is None
+
+    def test_start_branch(self):
+        t = MetricTimeline(window_size=5)
+        for _ in range(10):
+            t.record(False, False)
+        points = t.points()
+        assert [p.start_branch for p in points] == [0, 5]
+
+    def test_as_dict(self):
+        t = MetricTimeline(window_size=1)
+        t.record(True, True)
+        d = t.points()[0].as_dict()
+        assert d["PVN %"] == 100.0
+
+
+class TestWarmupCurveExperiment:
+    def test_structure(self):
+        from repro.experiments import warmup_curve
+        from repro.experiments.common import ExperimentSettings
+
+        settings = ExperimentSettings(
+            n_branches=12_000, warmup=1_000, benchmarks=("gzip",)
+        )
+        result = warmup_curve.run(settings, benchmark="gzip", windows=4)
+        assert len(result.points) == 4
+        assert result.window_size == 3_000
+        assert "Warm-up curve" in result.format()
+
+    def test_estimator_accuracy_improves_from_cold(self):
+        from repro.experiments import warmup_curve
+        from repro.experiments.common import ExperimentSettings
+
+        settings = ExperimentSettings(
+            n_branches=30_000, warmup=1_000, benchmarks=("gzip",)
+        )
+        result = warmup_curve.run(settings, benchmark="gzip", windows=5)
+        # The key reproduction caveat: quality rises with training.
+        assert result.pvn_improvement > 0
+
+    def test_windows_validation(self):
+        from repro.experiments import warmup_curve
+        from repro.experiments.common import ExperimentSettings
+
+        settings = ExperimentSettings(
+            n_branches=6_000, warmup=1_000, benchmarks=("gzip",)
+        )
+        with pytest.raises(ValueError):
+            warmup_curve.run(settings, windows=1)
