@@ -1,0 +1,56 @@
+"""Engine-level benchmarks: cold, cached and deduplicated batches.
+
+The experiment benches time whole tables/figures through the default
+engine; these isolate the engine itself, so a regression in the cache
+or the batch scheduler shows up without the experiment-level noise.
+"""
+
+from conftest import run_once
+
+from repro.engine import Engine, EstimatorSpec, SimJob
+
+THRESHOLDS = (25, 0, -25, -50)
+
+
+def _jobs():
+    return [
+        SimJob(
+            benchmark="gzip",
+            n_branches=14_000,
+            warmup=5_000,
+            seed=1,
+            estimator=EstimatorSpec.of("perceptron", threshold=t),
+        )
+        for t in THRESHOLDS
+    ]
+
+
+def test_engine_cold_batch(benchmark):
+    """Replay a fresh batch on a fresh engine (no cache reuse)."""
+    outcomes = run_once(benchmark, lambda: Engine().run(_jobs()))
+    assert len(outcomes) == len(THRESHOLDS)
+    assert all(o.events for o in outcomes)
+
+
+def test_engine_cached_batch(benchmark):
+    """Re-running an identical batch must be served from cache."""
+    engine = Engine()
+    jobs = _jobs()
+    engine.run(jobs)
+    before = engine.stats.snapshot()
+    outcomes = benchmark.pedantic(
+        lambda: engine.run(jobs), rounds=3, iterations=1
+    )
+    delta = engine.stats.since(before)
+    assert delta.executed == 0
+    assert delta.replay.hits == 3 * len(jobs)
+    assert len(outcomes) == len(jobs)
+
+
+def test_engine_dedup_batch(benchmark):
+    """A batch of identical jobs costs one replay, not N."""
+    engine = Engine()
+    job = _jobs()[0]
+    outcomes = run_once(benchmark, lambda: engine.run([job] * 8))
+    assert engine.stats.executed == 1
+    assert len(outcomes) == 8

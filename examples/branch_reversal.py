@@ -5,20 +5,23 @@ Shows why correct/incorrect training enables reversal: plots (as text)
 the cic output density split by prediction outcome, locates the
 empirical region where mispredictions dominate, then applies the
 three-region policy (reverse / gate / pass) and reports the outcome
-against gating alone.
+against gating alone.  All replays go through the engine, so the
+density pass and the policy passes share one generated trace.
 
 Run:  python examples/branch_reversal.py [benchmark]
 """
 
 import sys
 
-from repro import FrontEnd, generate_benchmark_trace
 from repro.analysis.density import OutputDensity
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy, ThreeRegionPolicy
+from repro.engine import (
+    GATING_POLICY,
+    THREE_REGION_POLICY,
+    EstimatorSpec,
+    SimJob,
+    get_engine,
+)
 from repro.pipeline.config import BASELINE_40X4
-from repro.pipeline.runner import compare_policies
-from repro.predictors.hybrid import make_baseline_hybrid
 
 
 def text_histogram(density, bins=24, width=50):
@@ -37,15 +40,18 @@ def text_histogram(density, bins=24, width=50):
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "twolf"
     n_branches, warmup = 100_000, 33_000
-    trace = generate_benchmark_trace(benchmark, n_branches=n_branches, seed=1)
+    engine = get_engine()
+    base_job = SimJob(
+        benchmark=benchmark, n_branches=n_branches, warmup=warmup, seed=1
+    )
 
     # Step 1: collect the output density (Figure 4/5 analysis).
-    frontend = FrontEnd(
-        make_baseline_hybrid(),
-        PerceptronConfidenceEstimator(threshold=0),
-        collect_outputs=True,
-    )
-    result = frontend.run(trace, warmup=warmup)
+    result = engine.replay(
+        base_job.with_(
+            estimator=EstimatorSpec.of("perceptron", threshold=0),
+            collect_outputs=True,
+        )
+    ).result
     density = OutputDensity.from_frontend_result(result)
     print(f"perceptron_cic output density on {benchmark!r}:")
     print(text_histogram(density))
@@ -63,40 +69,48 @@ def main() -> None:
         f"(mispredict fraction {reversal_region.mispredict_fraction:.0%})"
     )
 
-    # Step 3: combined policy vs gating alone.
-    combined = compare_policies(
-        trace,
-        make_baseline_hybrid,
-        lambda: PerceptronConfidenceEstimator(
-            threshold=gate_at, strong_threshold=reverse_at
-        ),
-        ThreeRegionPolicy(),
-        BASELINE_40X4.with_gating(2),
-        warmup=warmup,
+    # Step 3: combined policy vs gating alone, on one shared baseline.
+    baseline_events, combined_events, gating_events = (
+        o.events
+        for o in engine.run(
+            [
+                base_job,
+                base_job.with_(
+                    estimator=EstimatorSpec.of(
+                        "perceptron",
+                        threshold=gate_at,
+                        strong_threshold=float(reverse_at),
+                    ),
+                    policy=THREE_REGION_POLICY,
+                ),
+                base_job.with_(
+                    estimator=EstimatorSpec.of("perceptron", threshold=gate_at),
+                    policy=GATING_POLICY,
+                ),
+            ]
+        )
     )
-    gating_only = compare_policies(
-        trace,
-        make_baseline_hybrid,
-        lambda: PerceptronConfidenceEstimator(threshold=gate_at),
-        GatingOnlyPolicy(),
-        BASELINE_40X4.with_gating(2),
-        warmup=warmup,
-    )
+    machine = BASELINE_40X4.with_gating(2)
+    base = engine.simulate(baseline_events, BASELINE_40X4)
+    combined = engine.simulate(combined_events, machine)
+    gating_only = engine.simulate(gating_events, machine)
 
-    stats = combined.policy.stats
+    def u_and_p(stats):
+        u = 100.0 * (
+            base.total_uops_executed - stats.total_uops_executed
+        ) / base.total_uops_executed
+        p = 100.0 * (stats.total_cycles - base.total_cycles) / base.total_cycles
+        return u, p
+
     print(
-        f"\nreversals: {stats.reversals} "
-        f"({stats.reversals_correcting} fixed, "
-        f"{stats.reversals_breaking} broken)"
+        f"\nreversals: {combined.reversals} "
+        f"({combined.reversals_correcting} fixed, "
+        f"{combined.reversals_breaking} broken)"
     )
-    print(
-        f"gating alone   : U = {gating_only.uop_reduction_pct:5.1f}%   "
-        f"P = {gating_only.performance_loss_pct:5.1f}%"
-    )
-    print(
-        f"gating+reversal: U = {combined.uop_reduction_pct:5.1f}%   "
-        f"P = {combined.performance_loss_pct:5.1f}%"
-    )
+    for label, stats in (("gating alone   ", gating_only),
+                         ("gating+reversal", combined)):
+        u, p = u_and_p(stats)
+        print(f"{label}: U = {u:5.1f}%   P = {p:5.1f}%")
 
 
 if __name__ == "__main__":

@@ -7,18 +7,25 @@ reporting the reduction in executed uops (U) against the performance
 loss (P) for each design point -- the exploration behind Table 4's
 "spectrum of interesting design options".
 
+Each estimator threshold is replayed exactly once through the engine;
+both PL values reuse the same cached event stream, since PL only
+affects the pipeline timing model, not the front-end replay.
+
 Run:  python examples/pipeline_gating_study.py [benchmark] [machine]
       machine in {20c4w, 20c8w, 40c4w}
 """
 
 import sys
 
-from repro import format_table, generate_benchmark_trace
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro import format_table
+from repro.engine import (
+    ALWAYS_HIGH,
+    GATING_POLICY,
+    EstimatorSpec,
+    SimJob,
+    get_engine,
+)
 from repro.pipeline.config import PIPELINE_PRESETS
-from repro.pipeline.runner import compare_policies
-from repro.predictors.hybrid import make_baseline_hybrid
 
 THRESHOLDS = (25, 0, -25, -50, -75)
 COUNTERS = (1, 2)
@@ -31,29 +38,43 @@ def main() -> None:
     n_branches, warmup = 60_000, 20_000
 
     print(f"workload {benchmark!r} on the {config.label()} machine")
-    trace = generate_benchmark_trace(benchmark, n_branches=n_branches, seed=1)
+    base_job = SimJob(
+        benchmark=benchmark, n_branches=n_branches, warmup=warmup, seed=1,
+        estimator=ALWAYS_HIGH,
+    )
+    jobs = [base_job] + [
+        base_job.with_(
+            estimator=EstimatorSpec.of("perceptron", threshold=t),
+            policy=GATING_POLICY,
+        )
+        for t in THRESHOLDS
+    ]
+    engine = get_engine()
+    outcomes = engine.run(jobs)
+    base = engine.simulate(outcomes[0].events, config)
 
     rows = []
     for pl in COUNTERS:
-        for threshold in THRESHOLDS:
-            run = compare_policies(
-                trace,
-                make_baseline_hybrid,
-                lambda t=threshold: PerceptronConfidenceEstimator(threshold=t),
-                GatingOnlyPolicy(),
-                config.with_gating(pl),
-                warmup=warmup,
-            )
+        gated = config.with_gating(pl)
+        for threshold, outcome in zip(THRESHOLDS, outcomes[1:]):
+            stats = engine.simulate(outcome.events, gated)
             rows.append(
                 {
                     "lambda": threshold,
                     "PL": pl,
-                    "U %": round(run.uop_reduction_pct, 1),
-                    "P %": round(run.performance_loss_pct, 1),
-                    "stalls": run.policy.stats.gating_stalls,
-                    "wrong-path saved": round(
-                        run.policy.stats.wrong_path_uops_saved
+                    "U %": round(
+                        100.0
+                        * (base.total_uops_executed - stats.total_uops_executed)
+                        / base.total_uops_executed,
+                        1,
                     ),
+                    "P %": round(
+                        100.0 * (stats.total_cycles - base.total_cycles)
+                        / base.total_cycles,
+                        1,
+                    ),
+                    "stalls": stats.gating_stalls,
+                    "wrong-path saved": round(stats.wrong_path_uops_saved),
                 }
             )
 

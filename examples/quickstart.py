@@ -1,30 +1,35 @@
 #!/usr/bin/env python
 """Quickstart: estimate branch confidence on a synthetic benchmark.
 
-Builds the paper's setup in a few lines: a SPECint2000-like trace, the
-Table 1 baseline hybrid predictor, and the perceptron confidence
-estimator, then reports the Section 2.2 quality metrics.
+Builds the paper's setup declaratively: a :class:`SimJob` names the
+workload (a SPECint2000-like trace), the Table 1 baseline hybrid
+predictor, and the perceptron confidence estimator; the engine replays
+it (cached -- run this twice and the second run is instant) and
+reports the Section 2.2 quality metrics.
 
 Run:  python examples/quickstart.py [benchmark] [n_branches]
 """
 
 import sys
 
-from repro import (
-    FrontEnd,
-    PerceptronConfidenceEstimator,
-    generate_benchmark_trace,
-    make_baseline_hybrid,
-)
+from repro.engine import EstimatorSpec, SimJob, get_engine
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
     n_branches = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
-    warmup = n_branches // 3
 
-    print(f"generating {benchmark!r} trace ({n_branches} branches)...")
-    trace = generate_benchmark_trace(benchmark, n_branches=n_branches, seed=1)
+    job = SimJob(
+        benchmark=benchmark,
+        n_branches=n_branches,
+        warmup=n_branches // 3,
+        seed=1,
+        estimator=EstimatorSpec.of("perceptron", threshold=0),
+    )
+    print(f"job fingerprint: {job.fingerprint[:16]}...")
+
+    engine = get_engine()
+    trace = engine.trace(*job.trace_key)
     stats = trace.stats()
     print(
         f"  {stats.branches} branches, {stats.total_uops} uops, "
@@ -32,15 +37,15 @@ def main() -> None:
         f"{stats.static_branches} static branches"
     )
 
-    predictor = make_baseline_hybrid()
-    estimator = PerceptronConfidenceEstimator(threshold=0)
+    predictor = job.predictor.build()
+    estimator = job.estimator.build()
     print(
         f"replaying through {predictor.name} "
         f"({predictor.storage_kib:.0f} KiB) + {estimator.name} "
         f"({estimator.storage_kib:.1f} KiB)..."
     )
 
-    result = FrontEnd(predictor, estimator).run(trace, warmup=warmup)
+    result = engine.replay(job).result
     matrix = result.metrics.overall
 
     print()

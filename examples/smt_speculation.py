@@ -13,23 +13,9 @@ Run:  python examples/smt_speculation.py [thread_a] [thread_b]
 
 import sys
 
-from repro import generate_benchmark_trace
-from repro.core.frontend import FrontEnd
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import GATING_POLICY, EstimatorSpec, SimJob, get_engine
 from repro.pipeline.config import BASELINE_40X4
 from repro.pipeline.smt import SmtSimulator
-from repro.predictors.hybrid import make_baseline_hybrid
-
-
-def replay(name, n_branches=60_000):
-    trace = generate_benchmark_trace(name, n_branches=n_branches, seed=1)
-    frontend = FrontEnd(
-        make_baseline_hybrid(),
-        PerceptronConfidenceEstimator(threshold=0),
-        GatingOnlyPolicy(),
-    )
-    return [frontend.process(r) for r in trace]
 
 
 def describe(label, stats, names):
@@ -52,7 +38,17 @@ def main() -> None:
     name_b = sys.argv[2] if len(sys.argv) > 2 else "gcc"
     print(f"co-scheduling {name_a!r} (thread A) with {name_b!r} (thread B)\n")
 
-    events_a, events_b = replay(name_a), replay(name_b)
+    estimator = EstimatorSpec.of("perceptron", threshold=0)
+    outcomes = get_engine().run(
+        [
+            SimJob(
+                benchmark=name, n_branches=60_000, warmup=0, seed=1,
+                estimator=estimator, policy=GATING_POLICY,
+            )
+            for name in (name_a, name_b)
+        ]
+    )
+    events_a, events_b = outcomes[0].events, outcomes[1].events
     config = BASELINE_40X4.with_gating(1)
 
     baseline = SmtSimulator(config, gate_yields=False).simulate(

@@ -44,6 +44,7 @@ def render_report(
     results: Dict[str, object],
     title: str = "Experiment report",
     preamble: Optional[str] = None,
+    records: Optional[Sequence[object]] = None,
 ) -> str:
     """Render experiment results into one Markdown document.
 
@@ -52,10 +53,20 @@ def render_report(
             by :func:`repro.experiments.runner.run_all`).
         title: Document heading.
         preamble: Optional text inserted after the heading.
+        records: Optional run records (objects with ``as_dict``, e.g.
+            :class:`repro.experiments.runner.ExperimentRecord`) rendered
+            as a timing/cache summary table after the preamble.
     """
     lines: List[str] = [f"# {title}", ""]
     if preamble:
         lines += [preamble, ""]
+    if records:
+        lines += [
+            "## Run summary",
+            "",
+            markdown_table([r.as_dict() for r in records]),
+            "",
+        ]
     for name, result in results.items():
         lines.append(f"## {name}")
         lines.append("")
@@ -81,8 +92,13 @@ def write_report(
     path: str,
     title: str = "Experiment report",
     preamble: Optional[str] = None,
+    records: Optional[Sequence[object]] = None,
 ) -> None:
     """Render and write a Markdown report to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(render_report(results, title=title, preamble=preamble))
+        fh.write(
+            render_report(
+                results, title=title, preamble=preamble, records=records
+            )
+        )
         fh.write("\n")

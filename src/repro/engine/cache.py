@@ -1,0 +1,217 @@
+"""Keyed replay and trace caches with hit/miss accounting.
+
+Two caches back the engine:
+
+- :class:`ReplayCache` -- job fingerprint -> :class:`ReplayOutcome`.
+  In-memory entries are LRU-evicted against an *event budget* (replay
+  event lists dominate memory at ~300 bytes/event), because the
+  unbounded ``lru_cache`` it replaces could grow without limit over a
+  long experiment suite.  An optional on-disk layer pickles outcomes
+  under ``<dir>/<aa>/<fingerprint>.pkl`` (two-level fan-out keeps
+  directories small), so replays survive across processes and runs.
+- :class:`TraceCache` -- (name, n_branches, seed) -> generated trace,
+  LRU-evicted against a total-branches budget.
+
+Both expose monotonic counters; :class:`CacheStats` snapshots support
+per-experiment deltas in the run summary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.engine.job import ReplayOutcome
+
+__all__ = ["CacheStats", "ReplayCache", "TraceCache"]
+
+#: Default in-memory replay budget: total cached post-warm-up events.
+#: ~650 MB worst case at ~300 B/event; at --quick sizing it holds a few
+#: hundred outcomes, at full sizing a few dozen -- enough for the
+#: cross-experiment baseline/ladder sharing the suite relies on.
+DEFAULT_EVENT_BUDGET = 2_000_000
+
+#: Default trace budget in dynamic branches (~25 full-size traces).
+DEFAULT_TRACE_BUDGET = 4_000_000
+
+
+@dataclass
+class CacheStats:
+    """Monotonic cache counters (snapshot-subtractable)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.disk_hits, self.evictions)
+
+    def since(self, other: "CacheStats") -> "CacheStats":
+        """Delta relative to an earlier snapshot."""
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            disk_hits=self.disk_hits - other.disk_hits,
+            evictions=self.evictions - other.evictions,
+        )
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def format(self) -> str:
+        disk = f" ({self.disk_hits} from disk)" if self.disk_hits else ""
+        return f"{self.hits} hits{disk} / {self.misses} misses"
+
+
+class _LruBudget:
+    """An OrderedDict LRU bounded by a caller-defined cost budget."""
+
+    def __init__(self, budget: int):
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        self.budget = budget
+        self._entries: "OrderedDict[object, Tuple[object, int]]" = OrderedDict()
+        self._spent = 0
+        self.evictions = 0
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key, value, cost: int) -> None:
+        if key in self._entries:
+            self._spent -= self._entries.pop(key)[1]
+        # Oversized single entries are still admitted (evicting all
+        # others): refusing them would make the hot job permanently
+        # uncacheable, the worst possible behaviour.
+        self._entries[key] = (value, cost)
+        self._spent += cost
+        while self._spent > self.budget and len(self._entries) > 1:
+            _, (_, evicted_cost) = self._entries.popitem(last=False)
+            self._spent -= evicted_cost
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._spent = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def spent(self) -> int:
+        return self._spent
+
+
+class ReplayCache:
+    """Fingerprint-keyed outcome cache: memory LRU plus optional disk."""
+
+    def __init__(
+        self,
+        event_budget: int = DEFAULT_EVENT_BUDGET,
+        disk_dir: Optional[str] = None,
+    ):
+        self._lru = _LruBudget(event_budget)
+        self.disk_dir = disk_dir
+        self.stats = CacheStats()
+
+    def _disk_path(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.disk_dir, fingerprint[:2], fingerprint + ".pkl"
+        )
+
+    def get(self, fingerprint: str) -> Optional[ReplayOutcome]:
+        outcome = self._lru.get(fingerprint)
+        if outcome is not None:
+            self.stats.hits += 1
+            return ReplayOutcome(outcome.events, outcome.result, from_cache=True)
+        if self.disk_dir is not None:
+            path = self._disk_path(fingerprint)
+            try:
+                with open(path, "rb") as fh:
+                    events, result = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                pass
+            else:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                outcome = ReplayOutcome(events, result, from_cache=True)
+                self._lru.put(fingerprint, outcome, cost=max(1, len(events)))
+                self.stats.evictions = self._lru.evictions
+                return outcome
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, outcome: ReplayOutcome) -> None:
+        self._lru.put(fingerprint, outcome, cost=max(1, len(outcome.events)))
+        self.stats.evictions = self._lru.evictions
+        if self.disk_dir is not None:
+            path = self._disk_path(fingerprint)
+            if not os.path.exists(path):
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                # Atomic publish: concurrent writers of the same
+                # fingerprint produce identical bytes, last rename wins.
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        pickle.dump(
+                            (outcome.events, outcome.result),
+                            fh,
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    os.replace(tmp, path)
+                except BaseException:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+                    raise
+
+    def clear(self) -> None:
+        """Drop in-memory entries (the disk layer is left alone)."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def cached_events(self) -> int:
+        """Total events currently held in memory."""
+        return self._lru.spent
+
+
+class TraceCache:
+    """(name, n_branches, seed) -> trace, LRU by total branches."""
+
+    def __init__(self, branch_budget: int = DEFAULT_TRACE_BUDGET):
+        self._lru = _LruBudget(branch_budget)
+        self.stats = CacheStats()
+
+    def get(self, name: str, n_branches: int, seed: int):
+        key = (name, n_branches, seed)
+        trace = self._lru.get(key)
+        if trace is not None:
+            self.stats.hits += 1
+            return trace
+        from repro.trace.benchmarks import generate_benchmark_trace
+
+        self.stats.misses += 1
+        trace = generate_benchmark_trace(name, n_branches=n_branches, seed=seed)
+        self._lru.put(key, trace, cost=max(1, n_branches))
+        self.stats.evictions = self._lru.evictions
+        return trace
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)

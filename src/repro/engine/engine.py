@@ -1,0 +1,269 @@
+"""Execution engine: cached, optionally parallel simulation runs.
+
+:class:`Engine` is the single choke point for all front-end replay
+work.  ``Engine.run(jobs)`` deduplicates the job list by fingerprint,
+serves repeats from the replay cache (memory, then disk), executes the
+remainder -- in-process, or fanned out over a ``ProcessPoolExecutor``
+when ``max_workers > 1`` -- and returns outcomes in the order the jobs
+were given.  Replay is fully deterministic in the job description, so
+serial, parallel and cached runs of the same job produce bit-identical
+events and results; the execution mode is purely a throughput knob.
+
+A module-level default engine serves the experiment suite; configure it
+once from the CLI (``--jobs``, ``--cache-dir``) via
+:func:`configure_engine`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.cache import (
+    DEFAULT_EVENT_BUDGET,
+    DEFAULT_TRACE_BUDGET,
+    CacheStats,
+    ReplayCache,
+    TraceCache,
+)
+from repro.engine.job import ReplayOutcome, SimJob
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "execute_job",
+    "get_engine",
+    "configure_engine",
+]
+
+
+def _replay_trace(job: SimJob, trace) -> ReplayOutcome:
+    """Replay a prepared trace through fresh spec-built components.
+
+    Pure in the job description: no shared mutable state is read, which
+    is what lets serial, parallel and cached execution agree bit for
+    bit.
+    """
+    from repro.core.frontend import FrontEnd, FrontEndResult
+
+    frontend = FrontEnd(
+        job.predictor.build(),
+        job.estimator.build(),
+        job.policy.build(),
+        collect_outputs=job.collect_outputs,
+    )
+    result = FrontEndResult()
+    events = []
+    for i, record in enumerate(trace):
+        event = frontend.process(record)
+        if i < job.warmup:
+            continue
+        frontend.aggregate(result, event)
+        events.append(event)
+    return ReplayOutcome(events=events, result=result)
+
+
+def execute_job(job: SimJob) -> ReplayOutcome:
+    """Run one job start to finish (also the worker-process entry).
+
+    Worker processes lazily create their own default engine, so traces
+    are generated once per (worker, trace key) and reused across the
+    jobs that land on that worker.
+    """
+    engine = get_engine()
+    return _replay_trace(job, engine.trace(*job.trace_key))
+
+
+class EngineStats:
+    """Replay + trace cache counters plus execution tallies."""
+
+    def __init__(
+        self,
+        replay: CacheStats,
+        traces: CacheStats,
+        executed: int = 0,
+        parallel_executed: int = 0,
+    ):
+        self.replay = replay
+        self.traces = traces
+        self.executed = executed
+        self.parallel_executed = parallel_executed
+
+    def snapshot(self) -> "EngineStats":
+        return EngineStats(
+            self.replay.snapshot(),
+            self.traces.snapshot(),
+            self.executed,
+            self.parallel_executed,
+        )
+
+    def since(self, other: "EngineStats") -> "EngineStats":
+        return EngineStats(
+            self.replay.since(other.replay),
+            self.traces.since(other.traces),
+            self.executed - other.executed,
+            self.parallel_executed - other.parallel_executed,
+        )
+
+    def format(self) -> str:
+        return (
+            f"replays: {self.replay.format()}; "
+            f"traces: {self.traces.format()}"
+        )
+
+
+class Engine:
+    """Runs :class:`SimJob` s through the replay cache and executors.
+
+    Args:
+        max_workers: Default process fan-out for :meth:`run`.  1 means
+            in-process execution (still cached and deduplicated).
+        event_budget: In-memory replay cache size, in cached events.
+        cache_dir: Enables the on-disk replay cache at this directory.
+        trace_budget: Trace cache size, in total dynamic branches.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        event_budget: int = DEFAULT_EVENT_BUDGET,
+        cache_dir: Optional[str] = None,
+        trace_budget: int = DEFAULT_TRACE_BUDGET,
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._replays = ReplayCache(event_budget, disk_dir=cache_dir)
+        self._traces = TraceCache(trace_budget)
+        self._executed = 0
+        self._parallel_executed = 0
+
+    # -- caching ----------------------------------------------------------
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self._replays.disk_dir
+
+    @property
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            self._replays.stats,
+            self._traces.stats,
+            self._executed,
+            self._parallel_executed,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop all in-memory cached replays and traces."""
+        self._replays.clear()
+        self._traces.clear()
+
+    def trace(self, name: str, n_branches: int, seed: int):
+        """Generate (or reuse) one benchmark trace."""
+        return self._traces.get(name, n_branches, seed)
+
+    # -- execution --------------------------------------------------------
+
+    def replay(self, job: SimJob) -> ReplayOutcome:
+        """Run (or fetch) a single job."""
+        return self.run([job])[0]
+
+    def run(
+        self,
+        jobs: Sequence[SimJob],
+        max_workers: Optional[int] = None,
+    ) -> List[ReplayOutcome]:
+        """Execute a batch of jobs; outcomes align with ``jobs`` order.
+
+        Duplicate jobs (same fingerprint) are executed once.  Cache
+        lookups happen first; only genuinely new work reaches the
+        executor.  With ``max_workers > 1`` and more than one new job,
+        execution fans out across processes -- results are collected in
+        submission order, so parallelism never perturbs output order.
+        """
+        workers = self.max_workers if max_workers is None else max_workers
+        if workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {workers}")
+
+        fingerprints = [job.fingerprint for job in jobs]
+        resolved: Dict[str, ReplayOutcome] = {}
+        pending: List[SimJob] = []
+        for job, fp in zip(jobs, fingerprints):
+            if fp in resolved:
+                continue
+            cached = self._replays.get(fp)
+            if cached is not None:
+                resolved[fp] = cached
+            else:
+                resolved[fp] = None  # placeholder keeps dedup order
+                pending.append(job)
+
+        if pending:
+            n = min(workers, len(pending)) if len(pending) > 1 else 1
+            if n > 1:
+                with ProcessPoolExecutor(max_workers=n) as pool:
+                    outcomes = list(pool.map(execute_job, pending, chunksize=1))
+                self._parallel_executed += len(pending)
+            else:
+                outcomes = [
+                    _replay_trace(job, self.trace(*job.trace_key))
+                    for job in pending
+                ]
+            self._executed += len(pending)
+            for job, outcome in zip(pending, outcomes):
+                fp = job.fingerprint
+                resolved[fp] = outcome
+                self._replays.put(fp, outcome)
+
+        return [resolved[fp] for fp in fingerprints]
+
+    @staticmethod
+    def simulate(events, config):
+        """Run the pipeline timing model over a prepared event stream."""
+        from repro.pipeline.simulator import PipelineSimulator
+
+        return PipelineSimulator(config).simulate(iter(events))
+
+
+#: The process-wide default engine (lazily created).
+_default_engine: Optional[Engine] = None
+
+
+def get_engine() -> Engine:
+    """The default engine, creating it on first use."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = Engine()
+    return _default_engine
+
+
+def configure_engine(
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    event_budget: Optional[int] = None,
+    reset: bool = False,
+) -> Engine:
+    """Create or reconfigure the default engine.
+
+    Passing ``reset=True`` replaces the engine outright (dropping its
+    in-memory caches); otherwise existing caches are preserved and only
+    the requested knobs change.
+    """
+    global _default_engine
+    if reset or _default_engine is None:
+        _default_engine = Engine(
+            max_workers=max_workers or 1,
+            event_budget=event_budget or DEFAULT_EVENT_BUDGET,
+            cache_dir=cache_dir,
+        )
+        return _default_engine
+    engine = _default_engine
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        engine.max_workers = max_workers
+    if cache_dir is not None:
+        engine._replays.disk_dir = cache_dir
+    if event_budget is not None:
+        engine._replays._lru.budget = event_budget
+    return engine

@@ -14,51 +14,47 @@ boolean fusions and a cascade land:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import List, Tuple
 
-from repro.analysis.tables import format_table
-from repro.core.combined_estimator import AgreementEstimator, CascadeEstimator
-from repro.core.jrs import JRSEstimator
 from repro.core.metrics import ConfidenceMatrix
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.analysis.tables import format_table
+from repro.engine import EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
 )
 
 __all__ = ["FusionRow", "CombinedAblationResult", "run"]
 
-
-def _make_perceptron():
-    return PerceptronConfidenceEstimator(threshold=0)
-
-
-def _make_jrs():
-    return JRSEstimator(threshold=7)
+_PERCEPTRON = EstimatorSpec.of("perceptron", threshold=0)
+_JRS = EstimatorSpec.of("jrs", threshold=7)
 
 
-def _candidates() -> List:
-    """(label, estimator factory) for every fusion point."""
+def _candidates() -> List[Tuple[str, EstimatorSpec]]:
+    """(label, estimator spec) for every fusion point."""
     return [
-        ("perceptron", _make_perceptron),
-        ("enhanced JRS", _make_jrs),
+        ("perceptron", _PERCEPTRON),
+        ("enhanced JRS", _JRS),
         (
             "intersection",
-            lambda: AgreementEstimator(
-                _make_perceptron(), _make_jrs(), mode="intersection"
+            EstimatorSpec.of(
+                "agreement", primary=_PERCEPTRON, secondary=_JRS,
+                mode="intersection",
             ),
         ),
         (
             "union",
-            lambda: AgreementEstimator(
-                _make_perceptron(), _make_jrs(), mode="union"
+            EstimatorSpec.of(
+                "agreement", primary=_PERCEPTRON, secondary=_JRS, mode="union"
             ),
         ),
         (
             "cascade",
-            lambda: CascadeEstimator(
-                _make_perceptron(), _make_jrs(), neutral_band=40.0
+            EstimatorSpec.of(
+                "cascade", primary=_PERCEPTRON, secondary=_JRS,
+                neutral_band=40.0,
             ),
         ),
     ]
@@ -105,13 +101,17 @@ def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> CombinedAblationResult:
     """Measure each fusion over the configured benchmarks."""
+    candidates = _candidates()
+    jobs = [
+        job_for(settings, name, spec)
+        for _, spec in candidates
+        for name in settings.benchmarks
+    ]
+    outcomes = iter(run_jobs(jobs))
     rows: List[FusionRow] = []
-    for label, factory in _candidates():
+    for label, _ in candidates:
         total = ConfidenceMatrix()
-        for name in settings.benchmarks:
-            _, frontend = replay_benchmark(
-                name, settings, make_estimator=factory
-            )
-            total = total.merge(frontend.metrics.overall)
+        for _ in settings.benchmarks:
+            total = total.merge(next(outcomes).result.metrics.overall)
         rows.append(FusionRow(label=label, matrix=total))
     return CombinedAblationResult(rows=rows)

@@ -28,13 +28,13 @@ from typing import List, Tuple
 
 from repro.analysis.tables import format_table
 from repro.core.metrics import ConfidenceMatrix
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.engine import EstimatorSpec, PredictorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
 )
-from repro.predictors.hybrid import make_baseline_hybrid
 
 __all__ = ["HistoryReachRow", "HistoryAblationResult", "run",
            "HISTORY_LENGTHS"]
@@ -92,21 +92,23 @@ def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> HistoryAblationResult:
     """Sweep the baseline predictor's gshare history length."""
+    estimator = EstimatorSpec.of("perceptron", threshold=0)
+    jobs = [
+        job_for(
+            settings, name, estimator,
+            predictor=PredictorSpec.of(
+                "baseline_hybrid", history_length=history
+            ),
+        )
+        for history in HISTORY_LENGTHS
+        for name in settings.benchmarks
+    ]
+    outcomes = iter(run_jobs(jobs))
     rows: List[HistoryReachRow] = []
     for history in HISTORY_LENGTHS:
         total = ConfidenceMatrix()
-        for name in settings.benchmarks:
-            _, frontend = replay_benchmark(
-                name,
-                settings,
-                make_estimator=lambda: PerceptronConfidenceEstimator(
-                    threshold=0
-                ),
-                make_predictor=lambda h=history: make_baseline_hybrid(
-                    history_length=h
-                ),
-            )
-            total = total.merge(frontend.metrics.overall)
+        for _ in settings.benchmarks:
+            total = total.merge(next(outcomes).result.metrics.overall)
         rows.append(
             HistoryReachRow(
                 history_length=history,

@@ -12,44 +12,45 @@ row-indexed array to expose the aliasing trend.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import List, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import ConfidenceEstimator
 from repro.core.metrics import ConfidenceMatrix
-from repro.core.path_perceptron import PathPerceptronConfidenceEstimator
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.engine import EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
 )
 
 __all__ = ["IndexingRow", "IndexingAblationResult", "run"]
 
 
-def _candidates() -> List[Tuple[str, Callable[[], ConfidenceEstimator]]]:
+def _candidates() -> List[Tuple[str, EstimatorSpec]]:
     # Row-indexed paper default: 128 x 32 x 8b ~ 4.1 KiB.
     # Path-hashed match: 8 positions x 512-entry tables x 8b ~ 4.5 KiB.
     return [
         (
             "row P128W8H32",
-            lambda: PerceptronConfidenceEstimator(threshold=0),
+            EstimatorSpec.of("perceptron", threshold=0),
         ),
         (
             "row P32W8H32",
-            lambda: PerceptronConfidenceEstimator(threshold=0, entries=32),
+            EstimatorSpec.of("perceptron", threshold=0, entries=32),
         ),
         (
             "path T512H8",
-            lambda: PathPerceptronConfidenceEstimator(
-                table_entries=512, history_length=8, threshold=0
+            EstimatorSpec.of(
+                "path_perceptron", table_entries=512, history_length=8,
+                threshold=0,
             ),
         ),
         (
             "path T256H16",
-            lambda: PathPerceptronConfidenceEstimator(
-                table_entries=256, history_length=16, threshold=0
+            EstimatorSpec.of(
+                "path_perceptron", table_entries=256, history_length=16,
+                threshold=0,
             ),
         ),
     ]
@@ -98,15 +99,19 @@ def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> IndexingAblationResult:
     """Compare indexing schemes over the configured benchmarks."""
+    candidates = _candidates()
+    jobs = [
+        job_for(settings, name, spec)
+        for _, spec in candidates
+        for name in settings.benchmarks
+    ]
+    outcomes = iter(run_jobs(jobs))
     rows: List[IndexingRow] = []
-    for label, factory in _candidates():
+    for label, spec in candidates:
         total = ConfidenceMatrix()
-        storage = factory().storage_kib
-        for name in settings.benchmarks:
-            _, frontend = replay_benchmark(
-                name, settings, make_estimator=factory
-            )
-            total = total.merge(frontend.metrics.overall)
+        storage = spec.build().storage_kib
+        for _ in settings.benchmarks:
+            total = total.merge(next(outcomes).result.metrics.overall)
         rows.append(
             IndexingRow(label=label, storage_kib=storage, matrix=total)
         )

@@ -17,11 +17,12 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.engine import EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
 )
 
 __all__ = ["TrainingThresholdRow", "TrainingAblationResult", "run",
@@ -83,16 +84,20 @@ def run(
     benchmark: str = "gzip",
 ) -> TrainingAblationResult:
     """Sweep T on one benchmark, measuring density position and metrics."""
+    outcomes = run_jobs(
+        [
+            job_for(
+                settings, benchmark,
+                EstimatorSpec.of(
+                    "perceptron", threshold=0, training_threshold=t
+                ),
+                collect_outputs=True,
+            )
+            for t in T_VALUES
+        ]
+    )
     rows: List[TrainingThresholdRow] = []
-    for t_value in T_VALUES:
-        _, frontend = replay_benchmark(
-            benchmark,
-            settings,
-            make_estimator=lambda t=t_value: PerceptronConfidenceEstimator(
-                threshold=0, training_threshold=t
-            ),
-            collect_outputs=True,
-        )
+    for t_value, (_, frontend) in zip(T_VALUES, outcomes):
         cb = np.asarray(frontend.outputs_correct)
         mb = np.asarray(frontend.outputs_mispredicted)
         matrix = frontend.metrics.overall

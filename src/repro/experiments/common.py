@@ -1,35 +1,44 @@
 """Shared experiment infrastructure.
 
 All experiments replay the same benchmark traces through (predictor,
-estimator) pairs and feed the resulting event streams into policies and
-pipeline models.  This module centralises:
+estimator, policy) configurations and feed the resulting event streams
+into pipeline models.  Since the engine refactor this module is a thin
+veneer over :mod:`repro.engine`:
 
 - :class:`ExperimentSettings` -- trace length, warm-up and seed used by
   every experiment (the paper runs 30M-instruction traces with 10M
   warm-up; we default to 150k branches with a one-third warm-up, scaled
   down for pytest-benchmark runs);
-- trace caching, so the twelve benchmark traces are generated once per
-  process;
-- :func:`replay_benchmark` -- one front-end replay producing the event
-  list that :func:`repro.core.frontend.apply_policy` and the pipeline
-  simulator can then reuse across policies and machine configurations.
+- :func:`job_for` / :func:`run_jobs` -- build :class:`SimJob` batches
+  from settings and hand them to the default engine, which deduplicates
+  replays across experiments (table 3/4/5/6 and the figures share
+  baselines and ladders) and fans out across processes when configured
+  with ``--jobs``;
+- :func:`replay_benchmark` -- single-job convenience wrapper, same
+  cache underneath.
+
+Experiments must describe components as specs
+(:class:`repro.engine.EstimatorSpec` etc.), never as callables: specs
+are what make jobs hashable, picklable and content-addressable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from functools import lru_cache
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.estimator import ConfidenceEstimator
-from repro.core.frontend import FrontEnd, FrontEndEvent, FrontEndResult
-from repro.core.reversal import NoSpeculationControl, SpeculationPolicy
+from repro.engine import (
+    EstimatorSpec,
+    PolicySpec,
+    PredictorSpec,
+    ReplayOutcome,
+    SimJob,
+    get_engine,
+)
+from repro.engine.specs import BASELINE_PREDICTOR, NO_POLICY
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.simulator import PipelineSimulator
 from repro.pipeline.stats import SimStats
-from repro.predictors.base import BranchPredictor
-from repro.predictors.hybrid import make_baseline_hybrid
-from repro.trace.benchmarks import BENCHMARK_NAMES, generate_benchmark_trace
+from repro.trace.benchmarks import BENCHMARK_NAMES
 from repro.trace.record import Trace
 
 __all__ = [
@@ -37,6 +46,8 @@ __all__ = [
     "DEFAULT_SETTINGS",
     "BENCH_SETTINGS",
     "get_trace",
+    "job_for",
+    "run_jobs",
     "replay_benchmark",
     "simulate_events",
     "weighted_average",
@@ -89,49 +100,67 @@ BENCH_SETTINGS = ExperimentSettings(
 )
 
 
-@lru_cache(maxsize=64)
 def get_trace(name: str, n_branches: int, seed: int) -> Trace:
-    """Generate (and cache) one benchmark trace."""
-    return generate_benchmark_trace(name, n_branches=n_branches, seed=seed)
+    """Generate (and cache) one benchmark trace via the engine."""
+    return get_engine().trace(name, n_branches, seed)
+
+
+def job_for(
+    settings: ExperimentSettings,
+    benchmark: str,
+    estimator: EstimatorSpec,
+    policy: Optional[PolicySpec] = None,
+    predictor: Optional[PredictorSpec] = None,
+    collect_outputs: bool = False,
+) -> SimJob:
+    """Build one :class:`SimJob` from experiment settings."""
+    return SimJob(
+        benchmark=benchmark,
+        n_branches=settings.n_branches,
+        warmup=settings.warmup,
+        seed=settings.seed,
+        predictor=predictor if predictor is not None else BASELINE_PREDICTOR,
+        estimator=estimator,
+        policy=policy if policy is not None else NO_POLICY,
+        collect_outputs=collect_outputs,
+    )
+
+
+def run_jobs(jobs: Sequence[SimJob]) -> List[ReplayOutcome]:
+    """Run a job batch on the default engine (cached, maybe parallel)."""
+    return get_engine().run(jobs)
 
 
 def replay_benchmark(
     name: str,
     settings: ExperimentSettings,
-    make_estimator: Callable[[], ConfidenceEstimator],
-    policy: Optional[SpeculationPolicy] = None,
-    make_predictor: Callable[[], BranchPredictor] = make_baseline_hybrid,
+    estimator: EstimatorSpec,
+    policy: Optional[PolicySpec] = None,
+    predictor: Optional[PredictorSpec] = None,
     collect_outputs: bool = False,
-) -> Tuple[List[FrontEndEvent], FrontEndResult]:
-    """One full front-end replay of a benchmark.
+) -> ReplayOutcome:
+    """One cached front-end replay of a benchmark.
 
-    Returns the post-warm-up event list (reusable across policies via
+    Returns a :class:`ReplayOutcome`, unpackable as ``events, result``:
+    the post-warm-up event list (reusable across policies via
     :func:`repro.core.frontend.apply_policy` and across pipeline
     configurations) plus the aggregated front-end result.
     """
-    trace = get_trace(name, settings.n_branches, settings.seed)
-    frontend = FrontEnd(
-        make_predictor(),
-        make_estimator(),
-        policy if policy is not None else NoSpeculationControl(),
-        collect_outputs=collect_outputs,
+    return get_engine().replay(
+        job_for(
+            settings,
+            name,
+            estimator,
+            policy=policy,
+            predictor=predictor,
+            collect_outputs=collect_outputs,
+        )
     )
-    result = FrontEndResult()
-    events: List[FrontEndEvent] = []
-    for i, record in enumerate(trace):
-        event = frontend.process(record)
-        if i < settings.warmup:
-            continue
-        frontend.aggregate(result, event)
-        events.append(event)
-    return events, result
 
 
-def simulate_events(
-    events: Sequence[FrontEndEvent], config: PipelineConfig
-) -> SimStats:
+def simulate_events(events, config: PipelineConfig) -> SimStats:
     """Run the pipeline model over a prepared event stream."""
-    return PipelineSimulator(config).simulate(iter(events))
+    return get_engine().simulate(events, config)
 
 
 def weighted_average(values: Sequence[float], weights: Sequence[float]) -> float:

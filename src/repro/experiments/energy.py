@@ -14,13 +14,12 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import ALWAYS_HIGH, GATING_POLICY, EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
@@ -80,25 +79,29 @@ def run(
     model: EnergyModel = EnergyModel(),
 ) -> EnergyResult:
     """Evaluate energy/EDP savings across the threshold ladder."""
-    policy = GatingOnlyPolicy()
+    jobs = []
+    keys = []
+    for name in settings.benchmarks:
+        keys.append((name, None))
+        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        for lam in THRESHOLDS:
+            keys.append((name, lam))
+            jobs.append(
+                job_for(
+                    settings, name,
+                    EstimatorSpec.of("perceptron", threshold=lam),
+                    policy=GATING_POLICY,
+                )
+            )
+    outcomes = dict(zip(keys, run_jobs(jobs)))
+
     gated = config.with_gating(1)
     samples = {t: [] for t in THRESHOLDS}
     for name in settings.benchmarks:
-        base_events, _ = replay_benchmark(
-            name, settings, make_estimator=AlwaysHighEstimator
-        )
-        base_stats = simulate_events(base_events, config)
+        base_stats = simulate_events(outcomes[(name, None)].events, config)
         base_energy = model.evaluate(base_stats, estimator_active=False)
         for lam in THRESHOLDS:
-            events, _ = replay_benchmark(
-                name,
-                settings,
-                make_estimator=lambda l=lam: PerceptronConfidenceEstimator(
-                    threshold=l
-                ),
-                policy=policy,
-            )
-            stats = simulate_events(events, gated)
+            stats = simulate_events(outcomes[(name, lam)].events, gated)
             energy = model.evaluate(stats, estimator_active=True)
             u = 100.0 * (
                 base_stats.total_uops_executed - stats.total_uops_executed

@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.analysis.density import OutputDensity, RegionSummary
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.engine import EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
@@ -105,9 +105,7 @@ def run(
     _, frontend = replay_benchmark(
         benchmark,
         settings,
-        make_estimator=lambda: PerceptronConfidenceEstimator(
-            threshold=threshold, mode=mode
-        ),
+        estimator=EstimatorSpec.of("perceptron", threshold=threshold, mode=mode),
         collect_outputs=True,
     )
     density = OutputDensity.from_frontend_result(frontend)

@@ -17,13 +17,12 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import ThreeRegionPolicy
+from repro.engine import ALWAYS_HIGH, THREE_REGION_POLICY, EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
@@ -107,23 +106,25 @@ def run(
     config: PipelineConfig = BASELINE_40X4,
 ) -> Figure8Result:
     """Reproduce Figure 8 (or Figure 9 when given the wide config)."""
-    policy = ThreeRegionPolicy()
+    estimator = EstimatorSpec.of(
+        "perceptron",
+        threshold=GATE_THRESHOLD,
+        strong_threshold=REVERSE_THRESHOLD,
+    )
+    jobs = []
+    for name in settings.benchmarks:
+        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        jobs.append(
+            job_for(settings, name, estimator, policy=THREE_REGION_POLICY)
+        )
+    outcomes = run_jobs(jobs)
+
     gated_config = config.with_gating(BRANCH_COUNTER)
     rows: List[Figure8Row] = []
-    for name in settings.benchmarks:
-        base_events, _ = replay_benchmark(
-            name, settings, make_estimator=AlwaysHighEstimator
-        )
+    for i, name in enumerate(settings.benchmarks):
+        base_events, _ = outcomes[2 * i]
+        events, frontend = outcomes[2 * i + 1]
         base = simulate_events(base_events, config)
-        events, frontend = replay_benchmark(
-            name,
-            settings,
-            make_estimator=lambda: PerceptronConfidenceEstimator(
-                threshold=GATE_THRESHOLD,
-                strong_threshold=REVERSE_THRESHOLD,
-            ),
-            policy=policy,
-        )
         stats = simulate_events(events, gated_config)
         u = 100.0 * (
             base.total_uops_executed - stats.total_uops_executed

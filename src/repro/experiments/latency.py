@@ -16,13 +16,12 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import ALWAYS_HIGH, GATING_POLICY, EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
@@ -88,21 +87,18 @@ def run(
     The front-end replay is shared across latencies: estimator latency
     is purely a timing-model parameter.
     """
-    policy = GatingOnlyPolicy()
-    samples = {lat: [] for lat in LATENCIES}
+    estimator = EstimatorSpec.of("perceptron", threshold=threshold)
+    jobs = []
     for name in settings.benchmarks:
-        base_events, _ = replay_benchmark(
-            name, settings, make_estimator=AlwaysHighEstimator
-        )
+        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        jobs.append(job_for(settings, name, estimator, policy=GATING_POLICY))
+    outcomes = run_jobs(jobs)
+
+    samples = {lat: [] for lat in LATENCIES}
+    for i, name in enumerate(settings.benchmarks):
+        base_events, _ = outcomes[2 * i]
+        events, _ = outcomes[2 * i + 1]
         base = simulate_events(base_events, config)
-        events, _ = replay_benchmark(
-            name,
-            settings,
-            make_estimator=lambda: PerceptronConfidenceEstimator(
-                threshold=threshold
-            ),
-            policy=policy,
-        )
         for lat in LATENCIES:
             stats = simulate_events(
                 events, config.with_gating(1, estimator_latency=lat)

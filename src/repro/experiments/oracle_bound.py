@@ -13,14 +13,14 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
 from repro.core.oracle import oracle_events
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
 from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import ALWAYS_HIGH, GATING_POLICY, EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
@@ -80,6 +80,13 @@ def run(
     config: PipelineConfig = BASELINE_40X4,
 ) -> OracleBoundResult:
     """Measure gating U/P for oracle ladders and the real estimator."""
+    perceptron = EstimatorSpec.of("perceptron", threshold=0)
+    jobs = []
+    for name in settings.benchmarks:
+        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        jobs.append(job_for(settings, name, perceptron, policy=GATING_POLICY))
+    outcomes = run_jobs(jobs)
+
     policy = GatingOnlyPolicy()
     gated = config.with_gating(1)
     samples = {}
@@ -88,10 +95,8 @@ def run(
     def record(label, cov, acc, u, p):
         samples.setdefault((label, cov, acc), []).append((u, p))
 
-    for name in settings.benchmarks:
-        base_events, _ = replay_benchmark(
-            name, settings, make_estimator=AlwaysHighEstimator
-        )
+    for i, name in enumerate(settings.benchmarks):
+        base_events, _ = outcomes[2 * i]
         base = simulate_events(base_events, config)
 
         def measure(events):
@@ -112,12 +117,7 @@ def run(
             u, p = measure(events)
             record("oracle", cov, acc, u, p)
 
-        perc_events, frontend = replay_benchmark(
-            name,
-            settings,
-            make_estimator=lambda: PerceptronConfidenceEstimator(threshold=0),
-            policy=policy,
-        )
+        perc_events, frontend = outcomes[2 * i + 1]
         u, p = measure(perc_events)
         matrix = frontend.metrics.overall
         perceptron_samples.append((u, p, matrix.spec, matrix.pvn))

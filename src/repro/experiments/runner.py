@@ -5,6 +5,17 @@ settings (this is how the EXPERIMENTS.md numbers are produced);
 ``python -m repro.experiments --quick`` runs a reduced sizing for a
 fast sanity pass.  Individual experiments can be selected by id, e.g.
 ``python -m repro.experiments table3 figure8``.
+
+Sizing flags compose in a fixed order: defaults, then ``--quick``
+(scales the default sizing to 1/5), then ``--branches N`` (overrides
+the trace length outright, warm-up at one third).  ``--extensions``
+*adds* the extension set to whatever is selected -- with no explicit
+ids that is every experiment, with ids it appends the extensions after
+them.
+
+``--jobs N`` fans replay execution out over N worker processes and
+``--cache-dir PATH`` persists replays across invocations; neither
+changes any result (see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -12,8 +23,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from repro.engine import EngineStats, configure_engine, get_engine
 from repro.experiments import (
     ablation_combined,
     ablation_history,
@@ -39,7 +52,8 @@ from repro.experiments import (
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 
 __all__ = ["PAPER_EXPERIMENTS", "EXTENSION_EXPERIMENTS", "EXPERIMENTS",
-           "run_all", "main"]
+           "ExperimentRecord", "RunReport", "select_experiments",
+           "resolve_settings", "run_all", "main"]
 
 #: The paper's tables and figures.
 PAPER_EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], object]] = {
@@ -77,23 +91,122 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], object]] = {
 }
 
 
-def run_all(settings: ExperimentSettings, names=None, stream=None) -> Dict[str, object]:
-    """Run the selected experiments, printing each report as it lands."""
-    out = stream if stream is not None else sys.stdout
+@dataclass
+class ExperimentRecord:
+    """One experiment's result plus how it was obtained.
+
+    The cache/execution counters are deltas over this experiment only,
+    so a record shows how much of its work was served by replays cached
+    from earlier experiments in the same run.
+    """
+
+    name: str
+    result: object
+    seconds: float
+    stats: EngineStats
+
+    def as_dict(self) -> dict:
+        s = self.stats
+        return {
+            "experiment": self.name,
+            "seconds": round(self.seconds, 1),
+            "replays executed": s.executed,
+            "replay cache hits": s.replay.hits + s.replay.disk_hits,
+            "trace cache hits": s.traces.hits,
+        }
+
+
+class RunReport(Mapping):
+    """Ordered experiment results plus per-experiment run records.
+
+    Behaves as a mapping of experiment id to result object (so existing
+    ``report["table2"]`` / ``"table2" in report`` call sites keep
+    working) and carries :attr:`records` with timing and cache-counter
+    deltas for the report generator.
+    """
+
+    def __init__(self, records: Optional[List[ExperimentRecord]] = None):
+        self.records: List[ExperimentRecord] = list(records or [])
+
+    def add(self, record: ExperimentRecord) -> None:
+        self.records.append(record)
+
+    def __getitem__(self, name: str) -> object:
+        for record in self.records:
+            if record.name == name:
+                return record.result
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return (record.name for record in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+
+def select_experiments(
+    names: Optional[Sequence[str]] = None, extensions: bool = False
+) -> List[str]:
+    """Resolve the experiment selection, preserving order, no repeats.
+
+    No ids and no ``--extensions``: the paper set.  ``--extensions``
+    appends the extension set to the selection (explicit or default).
+    """
     selected = list(names) if names else list(PAPER_EXPERIMENTS)
     unknown = [n for n in selected if n not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
-    results: Dict[str, object] = {}
+    if extensions:
+        selected += [n for n in EXTENSION_EXPERIMENTS if n not in selected]
+    return selected
+
+
+def resolve_settings(
+    quick: bool = False, branches: Optional[int] = None
+) -> ExperimentSettings:
+    """Apply sizing flags in their documented precedence order."""
+    settings = DEFAULT_SETTINGS
+    if quick:
+        settings = settings.scaled(0.2)
+    if branches:
+        settings = replace(
+            settings, n_branches=branches, warmup=branches // 3
+        )
+    return settings
+
+
+def run_all(
+    settings: ExperimentSettings,
+    names: Optional[Sequence[str]] = None,
+    stream=None,
+    extensions: bool = False,
+) -> RunReport:
+    """Run the selected experiments, printing each report as it lands."""
+    out = stream if stream is not None else sys.stdout
+    selected = select_experiments(names, extensions=extensions)
+    engine = get_engine()
+    report = RunReport()
     for name in selected:
+        before = engine.stats.snapshot()
         start = time.time()
         result = EXPERIMENTS[name](settings)
         elapsed = time.time() - start
-        results[name] = result
+        report.add(
+            ExperimentRecord(
+                name=name,
+                result=result,
+                seconds=elapsed,
+                stats=engine.stats.since(before),
+            )
+        )
         print(f"\n=== {name} ({elapsed:.0f}s) ===", file=out)
         print(result.format(), file=out)
         out.flush()
-    return results
+    return report
 
 
 def main(argv=None) -> int:
@@ -109,7 +222,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--extensions",
         action="store_true",
-        help="also run the beyond-the-paper ablations/extensions",
+        help=(
+            "also run the beyond-the-paper ablations/extensions "
+            "(appended to any explicit selection)"
+        ),
     )
     parser.add_argument(
         "--quick",
@@ -126,28 +242,45 @@ def main(argv=None) -> int:
         "--branches",
         type=int,
         default=None,
-        help="override trace length (warm-up scales to one third)",
+        help=(
+            "override trace length (warm-up scales to one third); "
+            "applied after --quick, so it wins over the 1/5 scaling"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan replay execution out over N worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist the replay cache on disk at PATH across runs",
     )
     args = parser.parse_args(argv)
-    settings = DEFAULT_SETTINGS
-    if args.quick:
-        settings = settings.scaled(0.2)
-    if args.branches:
-        settings = ExperimentSettings(
-            n_branches=args.branches,
-            warmup=args.branches // 3,
-            seed=settings.seed,
-            benchmarks=settings.benchmarks,
-        )
-    names = args.experiments or None
-    if names is None and args.extensions:
-        names = list(PAPER_EXPERIMENTS) + list(EXTENSION_EXPERIMENTS)
-    results = run_all(settings, names=names)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    engine = configure_engine(max_workers=args.jobs, cache_dir=args.cache_dir)
+    settings = resolve_settings(quick=args.quick, branches=args.branches)
+
+    overall = engine.stats.snapshot()
+    report = run_all(
+        settings, names=args.experiments or None, extensions=args.extensions
+    )
+    delta = engine.stats.since(overall)
+    print(
+        f"\n{len(report)} experiments in {report.total_seconds:.0f}s "
+        f"({delta.executed} replays executed, "
+        f"{delta.parallel_executed} in parallel; {delta.format()})"
+    )
     if args.markdown:
         from repro.analysis.report import write_report
 
         write_report(
-            results,
+            report,
             args.markdown,
             title="Reproduction report",
             preamble=(
@@ -155,6 +288,7 @@ def main(argv=None) -> int:
                 f"{settings.n_branches} branches per benchmark, "
                 f"seed {settings.seed}."
             ),
+            records=report.records,
         )
         print("\nwrote Markdown report to " + args.markdown)
     return 0

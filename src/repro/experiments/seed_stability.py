@@ -15,10 +15,14 @@ from typing import List, Sequence, Tuple
 
 from repro.analysis.stability import MetricSpread, sweep_seeds
 from repro.analysis.tables import format_table
-from repro.core.jrs import JRSEstimator
 from repro.core.metrics import ConfidenceMatrix
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
+from repro.engine import EstimatorSpec
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    job_for,
+    run_jobs,
+)
 
 __all__ = ["StabilityResult", "run", "DEFAULT_SEEDS"]
 
@@ -63,21 +67,21 @@ def _measure_headline(
     """Table 3 middle-threshold metrics for one seed."""
     from dataclasses import replace
 
-    from repro.experiments.common import replay_benchmark
-
     seeded = replace(settings, seed=seed)
+    jobs = []
+    for name in seeded.benchmarks:
+        jobs.append(
+            job_for(seeded, name, EstimatorSpec.of("perceptron", threshold=0))
+        )
+        jobs.append(
+            job_for(seeded, name, EstimatorSpec.of("jrs", threshold=7))
+        )
+    outcomes = run_jobs(jobs)
     perc = ConfidenceMatrix()
     jrs = ConfidenceMatrix()
-    for name in seeded.benchmarks:
-        _, frontend = replay_benchmark(
-            name, seeded,
-            make_estimator=lambda: PerceptronConfidenceEstimator(threshold=0),
-        )
-        perc = perc.merge(frontend.metrics.overall)
-        _, frontend = replay_benchmark(
-            name, seeded, make_estimator=lambda: JRSEstimator(threshold=7)
-        )
-        jrs = jrs.merge(frontend.metrics.overall)
+    for i in range(len(seeded.benchmarks)):
+        perc = perc.merge(outcomes[2 * i].result.metrics.overall)
+        jrs = jrs.merge(outcomes[2 * i + 1].result.metrics.overall)
     ratio = perc.pvn / jrs.pvn if jrs.pvn else float("inf")
     return {
         "perceptron_pvn": perc.pvn,

@@ -18,12 +18,12 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import GATING_POLICY, EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 from repro.pipeline.smt import SmtSimulator
@@ -96,25 +96,20 @@ def run(
     threshold: float = 0.0,
 ) -> SmtResult:
     """Co-run benchmark pairs through the SMT front end."""
-    policy = GatingOnlyPolicy()
     smt_config = config.with_gating(1)
-    event_cache = {}
-
-    def events_for(name):
-        if name not in event_cache:
-            event_cache[name], _ = replay_benchmark(
-                name,
-                settings,
-                make_estimator=lambda: PerceptronConfidenceEstimator(
-                    threshold=threshold
-                ),
-                policy=policy,
-            )
-        return event_cache[name]
+    estimator = EstimatorSpec.of("perceptron", threshold=threshold)
+    names = sorted({name for pair in pairs for name in pair})
+    outcomes = run_jobs(
+        [
+            job_for(settings, name, estimator, policy=GATING_POLICY)
+            for name in names
+        ]
+    )
+    events = {name: out.events for name, out in zip(names, outcomes)}
 
     rows: List[SmtRow] = []
     for pair in pairs:
-        a, b = (events_for(n) for n in pair)
+        a, b = (events[n] for n in pair)
         baseline = SmtSimulator(smt_config, gate_yields=False).simulate(a, b)
         controlled = SmtSimulator(smt_config, gate_yields=True).simulate(a, b)
         rows.append(

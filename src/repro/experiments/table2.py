@@ -15,11 +15,12 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
+from repro.engine import ALWAYS_HIGH
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import PIPELINE_PRESETS
@@ -91,13 +92,14 @@ def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table2Result:
 
     Each benchmark is replayed once (no estimator influence -- the
     baseline machine has no speculation control), then the same event
-    stream is timed on all three machines.
+    stream is timed on all three machines.  The whole benchmark batch
+    goes through the engine in one call, so replays are cached for the
+    other experiments and fan out under ``--jobs``.
     """
+    jobs = [job_for(settings, name, ALWAYS_HIGH) for name in settings.benchmarks]
+    outcomes = run_jobs(jobs)
     rows: List[Table2Row] = []
-    for name in settings.benchmarks:
-        events, frontend = replay_benchmark(
-            name, settings, make_estimator=AlwaysHighEstimator
-        )
+    for name, (events, _) in zip(settings.benchmarks, outcomes):
         increases: Dict[str, float] = {}
         mispredicts_per_kuop = 0.0
         for machine in MACHINES:

@@ -17,13 +17,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.analysis.tables import format_table
-from repro.core.jrs import JRSEstimator
 from repro.core.metrics import ConfidenceMatrix
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
+from repro.engine import EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
 )
 
 __all__ = ["Table3Point", "Table3Result", "run", "JRS_THRESHOLDS",
@@ -101,21 +101,18 @@ class Table3Result:
         )
 
 
-def _ladder(
+def _ladder_points(
     settings: ExperimentSettings,
     estimator_name: str,
     thresholds: Sequence[float],
-    make_estimator,
+    outcomes_by_threshold,
     paper: Dict[float, tuple],
 ) -> List[Table3Point]:
     points = []
     for threshold in thresholds:
         total = ConfidenceMatrix()
-        for name in settings.benchmarks:
-            _, frontend = replay_benchmark(
-                name, settings, make_estimator=lambda t=threshold: make_estimator(t)
-            )
-            total = total.merge(frontend.metrics.overall)
+        for outcome in outcomes_by_threshold[threshold]:
+            total = total.merge(outcome.result.metrics.overall)
         pvn, spec = paper[threshold]
         points.append(
             Table3Point(
@@ -130,19 +127,36 @@ def _ladder(
 
 
 def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table3Result:
-    """Reproduce Table 3 over the configured benchmarks."""
-    jrs = _ladder(
-        settings,
-        "enhanced JRS",
-        JRS_THRESHOLDS,
-        lambda t: JRSEstimator(threshold=int(t)),
-        PAPER_JRS,
+    """Reproduce Table 3 over the configured benchmarks.
+
+    Both threshold ladders are described up front as one job batch --
+    (estimator x threshold x benchmark) -- and executed in a single
+    engine call.
+    """
+    ladder = []  # (ladder id, threshold, job) in deterministic order
+    for t in JRS_THRESHOLDS:
+        spec = EstimatorSpec.of("jrs", threshold=int(t))
+        for name in settings.benchmarks:
+            ladder.append(("jrs", t, job_for(settings, name, spec)))
+    for t in PERCEPTRON_THRESHOLDS:
+        spec = EstimatorSpec.of("perceptron", threshold=t)
+        for name in settings.benchmarks:
+            ladder.append(("perceptron", t, job_for(settings, name, spec)))
+
+    outcomes = run_jobs([job for _, _, job in ladder])
+    grouped: Dict[str, Dict[float, list]] = {"jrs": {}, "perceptron": {}}
+    for (ladder_id, threshold, _), outcome in zip(ladder, outcomes):
+        grouped[ladder_id].setdefault(threshold, []).append(outcome)
+
+    return Table3Result(
+        jrs=_ladder_points(
+            settings, "enhanced JRS", JRS_THRESHOLDS, grouped["jrs"], PAPER_JRS
+        ),
+        perceptron=_ladder_points(
+            settings,
+            "perceptron",
+            PERCEPTRON_THRESHOLDS,
+            grouped["perceptron"],
+            PAPER_PERCEPTRON,
+        ),
     )
-    perceptron = _ladder(
-        settings,
-        "perceptron",
-        PERCEPTRON_THRESHOLDS,
-        lambda t: PerceptronConfidenceEstimator(threshold=t),
-        PAPER_PERCEPTRON,
-    )
-    return Table3Result(jrs=jrs, perceptron=perceptron)

@@ -18,15 +18,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
-from repro.core.frontend import apply_policy
-from repro.core.jrs import JRSEstimator
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import ALWAYS_HIGH, GATING_POLICY, EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
@@ -115,18 +112,43 @@ def run(
     Per benchmark, the ungated baseline is replayed once; each
     estimator threshold is replayed once and its event stream reused
     across branch-counter thresholds (the PL knob lives in the pipeline
-    configuration, not the front-end).
+    configuration, not the front-end).  The whole (benchmark x
+    estimator x lambda) grid is one engine batch.
     """
-    policy = GatingOnlyPolicy()
+    # Describe the grid: per benchmark, one baseline job plus one job
+    # per (estimator, lambda) -- the front-end does not see PL.
+    grid: List[Tuple[str, str, float, object]] = []  # (bench, est, lam, job)
+    for name in settings.benchmarks:
+        grid.append((name, "base", 0.0, job_for(settings, name, ALWAYS_HIGH)))
+        for lam in JRS_THRESHOLDS:
+            grid.append(
+                (name, "JRS", lam, job_for(
+                    settings, name,
+                    EstimatorSpec.of("jrs", threshold=lam),
+                    policy=GATING_POLICY,
+                ))
+            )
+        for lam in PERCEPTRON_THRESHOLDS:
+            grid.append(
+                (name, "perceptron", lam, job_for(
+                    settings, name,
+                    EstimatorSpec.of("perceptron", threshold=lam),
+                    policy=GATING_POLICY,
+                ))
+            )
+    outcomes = dict(
+        zip(
+            ((n, e, l) for n, e, l, _ in grid),
+            run_jobs([job for _, _, _, job in grid]),
+        )
+    )
+
     # (estimator, lambda, PL) -> list over benchmarks of (U, P)
     samples: Dict[Tuple[str, float, int], List[Tuple[float, float]]] = {}
     per_benchmark: Dict[str, List[GatingCell]] = {}
 
     for name in settings.benchmarks:
-        base_events, _ = replay_benchmark(
-            name, settings, make_estimator=AlwaysHighEstimator
-        )
-        base = simulate_events(base_events, config)
+        base = simulate_events(outcomes[(name, "base", 0.0)].events, config)
         bench_cells: List[GatingCell] = []
 
         def record(estimator: str, lam: float, pl: int, stats) -> None:
@@ -140,25 +162,13 @@ def run(
             )
 
         for lam in JRS_THRESHOLDS:
-            events, _ = replay_benchmark(
-                name,
-                settings,
-                make_estimator=lambda l=lam: JRSEstimator(threshold=l),
-                policy=policy,
-            )
+            events = outcomes[(name, "JRS", lam)].events
             for pl in BRANCH_COUNTER_THRESHOLDS:
                 stats = simulate_events(events, config.with_gating(pl))
                 record("JRS", lam, pl, stats)
 
         for lam in PERCEPTRON_THRESHOLDS:
-            events, _ = replay_benchmark(
-                name,
-                settings,
-                make_estimator=lambda l=lam: PerceptronConfidenceEstimator(
-                    threshold=l
-                ),
-                policy=policy,
-            )
+            events = outcomes[(name, "perceptron", lam)].events
             stats = simulate_events(events, config.with_gating(1))
             record("perceptron", lam, 1, stats)
 

@@ -15,24 +15,18 @@ for the same performance loss the achievable uop reduction drops
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import ALWAYS_HIGH, GATING_POLICY, EstimatorSpec, PredictorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
-from repro.predictors.base import BranchPredictor
-from repro.predictors.hybrid import (
-    make_baseline_hybrid,
-    make_gshare_perceptron_hybrid,
-)
 
 __all__ = ["Table5Row", "Table5Result", "run"]
 
@@ -96,32 +90,35 @@ def _ladder(
     settings: ExperimentSettings,
     config: PipelineConfig,
     label: str,
-    make_predictor: Callable[[], BranchPredictor],
+    predictor: PredictorSpec,
     thresholds,
 ) -> List[Table5Row]:
-    policy = GatingOnlyPolicy()
+    jobs = []
+    keys = []  # (benchmark, lambda-or-None for the baseline)
+    for name in settings.benchmarks:
+        keys.append((name, None))
+        jobs.append(job_for(settings, name, ALWAYS_HIGH, predictor=predictor))
+        for lam in thresholds:
+            keys.append((name, lam))
+            jobs.append(
+                job_for(
+                    settings, name,
+                    EstimatorSpec.of("perceptron", threshold=lam),
+                    policy=GATING_POLICY,
+                    predictor=predictor,
+                )
+            )
+    outcomes = dict(zip(keys, run_jobs(jobs)))
+
     samples: Dict[float, List[Tuple[float, float]]] = {t: [] for t in thresholds}
     kuops: List[float] = []
     for name in settings.benchmarks:
-        base_events, _ = replay_benchmark(
-            name,
-            settings,
-            make_estimator=AlwaysHighEstimator,
-            make_predictor=make_predictor,
-        )
-        base = simulate_events(base_events, config)
+        base = simulate_events(outcomes[(name, None)].events, config)
         kuops.append(base.mispredicts_per_kuop)
         for lam in thresholds:
-            events, _ = replay_benchmark(
-                name,
-                settings,
-                make_estimator=lambda l=lam: PerceptronConfidenceEstimator(
-                    threshold=l
-                ),
-                policy=policy,
-                make_predictor=make_predictor,
+            stats = simulate_events(
+                outcomes[(name, lam)].events, config.with_gating(1)
             )
-            stats = simulate_events(events, config.with_gating(1))
             u = 100.0 * (
                 base.total_uops_executed - stats.total_uops_executed
             ) / base.total_uops_executed
@@ -153,14 +150,14 @@ def run(
         settings,
         config,
         "bimodal-gshare",
-        make_baseline_hybrid,
+        PredictorSpec.of("baseline_hybrid"),
         BIMODAL_GSHARE_THRESHOLDS,
     )
     rows += _ladder(
         settings,
         config,
         "gshare-perceptron",
-        make_gshare_perceptron_hybrid,
+        PredictorSpec.of("gshare_perceptron_hybrid"),
         GSHARE_PERCEPTRON_THRESHOLDS,
     )
     return Table5Result(rows=rows)

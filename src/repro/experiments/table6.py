@@ -15,13 +15,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import ALWAYS_HIGH, GATING_POLICY, EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
@@ -116,28 +115,38 @@ def run(
     """Reproduce Table 6.
 
     Every configuration uses the same gating setup (PL1) and estimator
-    threshold; only the perceptron array geometry changes.
+    threshold; only the perceptron array geometry changes.  One engine
+    batch covers the whole (benchmark x geometry) grid.
     """
-    policy = GatingOnlyPolicy()
+    jobs = []
+    keys = []  # (benchmark, config label or None for the baseline)
+    for name in settings.benchmarks:
+        keys.append((name, None))
+        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        for _, size in CONFIGURATIONS:
+            keys.append((name, size.label))
+            jobs.append(
+                job_for(
+                    settings, name,
+                    EstimatorSpec.of(
+                        "perceptron",
+                        entries=size.entries,
+                        history_length=size.history_length,
+                        weight_bits=size.weight_bits,
+                        threshold=threshold,
+                    ),
+                    policy=GATING_POLICY,
+                )
+            )
+    outcomes = dict(zip(keys, run_jobs(jobs)))
+
     samples: Dict[str, List[Tuple[float, float]]] = {}
     for name in settings.benchmarks:
-        base_events, _ = replay_benchmark(
-            name, settings, make_estimator=AlwaysHighEstimator
-        )
-        base = simulate_events(base_events, config)
+        base = simulate_events(outcomes[(name, None)].events, config)
         for _, size in CONFIGURATIONS:
-            events, _ = replay_benchmark(
-                name,
-                settings,
-                make_estimator=lambda s=size: PerceptronConfidenceEstimator(
-                    entries=s.entries,
-                    history_length=s.history_length,
-                    weight_bits=s.weight_bits,
-                    threshold=threshold,
-                ),
-                policy=policy,
+            stats = simulate_events(
+                outcomes[(name, size.label)].events, config.with_gating(1)
             )
-            stats = simulate_events(events, config.with_gating(1))
             u = 100.0 * (
                 base.total_uops_executed - stats.total_uops_executed
             ) / base.total_uops_executed

@@ -14,13 +14,12 @@ from dataclasses import dataclass, replace
 from typing import List, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.estimator import AlwaysHighEstimator
-from repro.core.perceptron_estimator import PerceptronConfidenceEstimator
-from repro.core.reversal import GatingOnlyPolicy
+from repro.engine import ALWAYS_HIGH, GATING_POLICY, EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
     simulate_events,
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
@@ -82,22 +81,27 @@ def run(
     config: PipelineConfig = BASELINE_40X4,
 ) -> ThrottleResult:
     """Compare stall vs throttle mechanisms at two thresholds."""
-    policy = GatingOnlyPolicy()
+    jobs = []
+    keys = []
+    for name in settings.benchmarks:
+        keys.append((name, None))
+        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        for lam in THRESHOLDS:
+            keys.append((name, lam))
+            jobs.append(
+                job_for(
+                    settings, name,
+                    EstimatorSpec.of("perceptron", threshold=lam),
+                    policy=GATING_POLICY,
+                )
+            )
+    outcomes = dict(zip(keys, run_jobs(jobs)))
+
     samples = {}
     for name in settings.benchmarks:
-        base_events, _ = replay_benchmark(
-            name, settings, make_estimator=AlwaysHighEstimator
-        )
-        base = simulate_events(base_events, config)
+        base = simulate_events(outcomes[(name, None)].events, config)
         for lam in THRESHOLDS:
-            events, _ = replay_benchmark(
-                name,
-                settings,
-                make_estimator=lambda l=lam: PerceptronConfidenceEstimator(
-                    threshold=l
-                ),
-                policy=policy,
-            )
+            events = outcomes[(name, lam)].events
             for label, mode, factor in MECHANISMS:
                 machine = replace(
                     config.with_gating(1),

@@ -1,0 +1,284 @@
+"""Tests for the declarative simulation engine.
+
+Covers the spec registries, job fingerprinting, the budgeted replay and
+trace caches (memory and disk), batch execution with deduplication, and
+the determinism contract: serial, parallel and cached runs of the same
+jobs must be bit-identical.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    ALWAYS_HIGH,
+    BASELINE_PREDICTOR,
+    GATING_POLICY,
+    NO_POLICY,
+    Engine,
+    EstimatorSpec,
+    PolicySpec,
+    PredictorSpec,
+    ReplayCache,
+    ReplayOutcome,
+    SimJob,
+    SpecError,
+    TraceCache,
+)
+from repro.engine.cache import _LruBudget
+
+JOB = SimJob(
+    benchmark="gzip",
+    n_branches=3_000,
+    warmup=1_000,
+    seed=1,
+    estimator=EstimatorSpec.of("perceptron", threshold=0),
+)
+
+
+class TestSpecs:
+    def test_registries_are_separate(self):
+        assert "perceptron" in EstimatorSpec.kinds()
+        assert "perceptron" not in PolicySpec.kinds()
+        assert "baseline_hybrid" in PredictorSpec.kinds()
+
+    def test_unknown_kind(self):
+        with pytest.raises(SpecError):
+            EstimatorSpec.of("nonesuch")
+
+    def test_params_are_order_insensitive(self):
+        a = EstimatorSpec.of("jrs", threshold=7, enhanced=True)
+        b = EstimatorSpec.of("jrs", enhanced=True, threshold=7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_build_constructs_component(self):
+        est = EstimatorSpec.of("jrs", threshold=7).build()
+        assert est.name.startswith("jrs") or "JRS" in type(est).__name__
+
+    def test_build_rejects_bad_params(self):
+        with pytest.raises(TypeError):
+            EstimatorSpec.of("jrs", nonesuch=1).build()
+
+    def test_nested_fusion_spec(self):
+        fused = EstimatorSpec.of(
+            "agreement",
+            primary=EstimatorSpec.of("perceptron", threshold=0),
+            secondary=EstimatorSpec.of("jrs", threshold=7),
+            mode="union",
+        )
+        built = fused.build()
+        assert type(built).__name__ == "AgreementEstimator"
+        # Nested specs appear in the canonical form (fingerprintable).
+        assert "jrs" in repr(fused.canonical())
+
+    def test_specs_are_picklable(self):
+        spec = EstimatorSpec.of("perceptron", threshold=0)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_unhashable_param_rejected(self):
+        with pytest.raises(SpecError):
+            EstimatorSpec.of("perceptron", weights=[1, 2, 3], bad=object())
+
+
+class TestSimJob:
+    def test_fingerprint_is_stable_and_sensitive(self):
+        same = SimJob(
+            benchmark="gzip",
+            n_branches=3_000,
+            warmup=1_000,
+            seed=1,
+            estimator=EstimatorSpec.of("perceptron", threshold=0),
+        )
+        assert same.fingerprint == JOB.fingerprint
+        for changed in (
+            JOB.with_(seed=2),
+            JOB.with_(n_branches=4_000),
+            JOB.with_(warmup=999),
+            JOB.with_(benchmark="gcc"),
+            JOB.with_(estimator=EstimatorSpec.of("perceptron", threshold=1)),
+            JOB.with_(policy=GATING_POLICY),
+            JOB.with_(collect_outputs=True),
+        ):
+            assert changed.fingerprint != JOB.fingerprint
+
+    def test_defaults(self):
+        job = SimJob(benchmark="gzip", n_branches=100, warmup=0, seed=1)
+        assert job.predictor == BASELINE_PREDICTOR
+        assert job.estimator == ALWAYS_HIGH
+        assert job.policy == NO_POLICY
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimJob(benchmark="gzip", n_branches=0, warmup=0, seed=1)
+        with pytest.raises(ValueError):
+            SimJob(benchmark="gzip", n_branches=10, warmup=10, seed=1)
+
+    def test_job_is_picklable_and_hashable(self):
+        assert pickle.loads(pickle.dumps(JOB)) == JOB
+        assert JOB in {JOB}
+
+
+class TestLruBudget:
+    def test_evicts_oldest_over_budget(self):
+        lru = _LruBudget(budget=10)
+        lru.put("a", 1, cost=4)
+        lru.put("b", 2, cost=4)
+        lru.put("c", 3, cost=4)  # spends 12 > 10: evicts "a"
+        assert lru.get("a") is None
+        assert lru.get("b") == 2
+        assert lru.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        lru = _LruBudget(budget=10)
+        lru.put("a", 1, cost=4)
+        lru.put("b", 2, cost=4)
+        assert lru.get("a") == 1  # "b" is now the LRU entry
+        lru.put("c", 3, cost=4)
+        assert lru.get("b") is None
+        assert lru.get("a") == 1
+
+    def test_oversized_entry_still_admitted(self):
+        lru = _LruBudget(budget=10)
+        lru.put("big", 1, cost=100)
+        assert lru.get("big") == 1
+
+
+class TestReplayCacheDisk:
+    def test_roundtrip(self, tmp_path):
+        outcome = Engine().replay(JOB)
+        cache = ReplayCache(disk_dir=str(tmp_path))
+        cache.put(JOB.fingerprint, outcome)
+        cache.clear()  # drop memory; the disk layer must serve it
+
+        restored = cache.get(JOB.fingerprint)
+        assert restored is not None
+        assert restored.from_cache
+        assert cache.stats.disk_hits == 1
+        assert restored.events == outcome.events
+        assert restored.result.branches == outcome.result.branches
+
+    def test_miss_on_empty_dir(self, tmp_path):
+        cache = ReplayCache(disk_dir=str(tmp_path))
+        assert cache.get(JOB.fingerprint) is None
+        assert cache.stats.misses == 1
+
+    def test_engine_level_disk_reuse(self, tmp_path):
+        a = Engine(cache_dir=str(tmp_path))
+        first = a.replay(JOB)
+        b = Engine(cache_dir=str(tmp_path))  # separate engine, same dir
+        second = b.replay(JOB)
+        assert second.from_cache
+        assert b.stats.replay.disk_hits == 1
+        assert second.events == first.events
+
+
+class TestTraceCache:
+    def test_same_key_same_object(self):
+        cache = TraceCache()
+        assert cache.get("gzip", 2_000, 1) is cache.get("gzip", 2_000, 1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_keys(self):
+        cache = TraceCache()
+        assert cache.get("gzip", 2_000, 1) is not cache.get("gzip", 2_000, 2)
+
+
+class TestEngineRun:
+    def test_dedup_executes_once(self):
+        engine = Engine()
+        outcomes = engine.run([JOB, JOB, JOB])
+        assert engine.stats.executed == 1
+        assert len(outcomes) == 3
+        assert outcomes[0].events is outcomes[1].events
+
+    def test_results_in_submission_order(self):
+        engine = Engine()
+        jobs = [JOB.with_(seed=s) for s in (3, 1, 2)]
+        outcomes = engine.run(jobs)
+        again = engine.run(list(reversed(jobs)))
+        assert [o.result.branches for o in outcomes] == [
+            o.result.branches for o in reversed(again)
+        ]
+        assert all(o.from_cache for o in again)
+
+    def test_outcome_unpacks_as_events_result(self):
+        events, result = Engine().replay(JOB)
+        assert len(events) == JOB.n_branches - JOB.warmup
+        assert result.branches == len(events)
+
+    def test_serial_parallel_cached_identical(self):
+        jobs = [
+            JOB.with_(estimator=EstimatorSpec.of("perceptron", threshold=t))
+            for t in (0, -25)
+        ]
+        serial = Engine().run(jobs)
+        parallel_engine = Engine(max_workers=2)
+        parallel = parallel_engine.run(jobs)
+        assert parallel_engine.stats.parallel_executed == len(jobs)
+        cached = parallel_engine.run(jobs)
+        assert all(o.from_cache for o in cached)
+        for s, p, c in zip(serial, parallel, cached):
+            assert s.events == p.events == c.events
+            assert (
+                s.result.metrics.overall
+                == p.result.metrics.overall
+                == c.result.metrics.overall
+            )
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            Engine(max_workers=0)
+        with pytest.raises(ValueError):
+            Engine().run([JOB], max_workers=0)
+
+
+class TestRunnerFlags:
+    def test_branches_wins_over_quick(self):
+        from repro.experiments.runner import resolve_settings
+
+        assert resolve_settings(quick=True).n_branches == 30_000
+        settings = resolve_settings(quick=True, branches=9_000)
+        assert settings.n_branches == 9_000
+        assert settings.warmup == 3_000
+        # --quick still contributed nothing else; defaults otherwise.
+        assert settings.seed == resolve_settings().seed
+
+    def test_extensions_append_to_selection(self):
+        from repro.experiments.runner import (
+            EXTENSION_EXPERIMENTS,
+            PAPER_EXPERIMENTS,
+            select_experiments,
+        )
+
+        assert select_experiments() == list(PAPER_EXPERIMENTS)
+        both = select_experiments(extensions=True)
+        assert both == list(PAPER_EXPERIMENTS) + list(EXTENSION_EXPERIMENTS)
+        explicit = select_experiments(["smt", "table2"], extensions=True)
+        assert explicit[:2] == ["smt", "table2"]
+        assert "smt" not in explicit[2:]  # no repeats
+        assert set(EXTENSION_EXPERIMENTS) <= set(explicit)
+
+    def test_unknown_selection(self):
+        from repro.experiments.runner import select_experiments
+
+        with pytest.raises(KeyError):
+            select_experiments(["bogus"])
+
+    def test_run_report_mapping(self):
+        from repro.experiments.runner import ExperimentRecord, RunReport
+
+        report = RunReport()
+        report.add(
+            ExperimentRecord(
+                name="table2", result="r", seconds=1.0,
+                stats=Engine().stats.snapshot(),
+            )
+        )
+        assert "table2" in report
+        assert report["table2"] == "r"
+        assert list(report) == ["table2"]
+        assert report.total_seconds == 1.0
+        with pytest.raises(KeyError):
+            report["nonesuch"]
