@@ -13,7 +13,12 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.export import rows_from_result
 
-__all__ = ["markdown_table", "render_report", "write_report"]
+__all__ = [
+    "markdown_table",
+    "render_report",
+    "render_verification_report",
+    "write_report",
+]
 
 
 def markdown_table(
@@ -84,6 +89,42 @@ def render_report(
             lines.append(f"*(unrenderable result of type "
                          f"{type(result).__name__})*")
         lines.append("")
+    return "\n".join(lines)
+
+
+def render_verification_report(
+    layers: Sequence[tuple],
+    title: str = "Verification report",
+    failures: Sequence[str] = (),
+) -> str:
+    """Render ``python -m repro.verify`` layer outcomes as Markdown.
+
+    Args:
+        layers: ``(name, ok, detail)`` triples, one per layer run.
+        title: Document heading.
+        failures: Flat failure strings, listed verbatim when non-empty.
+    """
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(
+        markdown_table(
+            [
+                {
+                    "layer": name,
+                    "status": "pass" if ok else "FAIL",
+                    "detail": detail,
+                }
+                for name, ok, detail in layers
+            ],
+            columns=["layer", "status", "detail"],
+        )
+    )
+    lines.append("")
+    if failures:
+        lines += ["## Failures", ""]
+        lines += [f"- {failure}" for failure in failures]
+        lines.append("")
+    else:
+        lines += ["All layers passed.", ""]
     return "\n".join(lines)
 
 

@@ -91,6 +91,15 @@ class AgreementEstimator(ConfidenceEstimator):
         self.secondary.reset()
         self._pending = None
 
+    def state_canonical(self) -> tuple:
+        # _pending is per-branch scratch, not adaptive state.
+        return (
+            "agreement",
+            self.mode,
+            self.primary.state_canonical(),
+            self.secondary.state_canonical(),
+        )
+
 
 class CascadeEstimator(ConfidenceEstimator):
     """Primary decides unless its output falls in a neutral band.
@@ -154,3 +163,11 @@ class CascadeEstimator(ConfidenceEstimator):
         self.primary.reset()
         self.secondary.reset()
         self._pending = None
+
+    def state_canonical(self) -> tuple:
+        # _pending is per-branch scratch, not adaptive state.
+        return (
+            "cascade",
+            self.primary.state_canonical(),
+            self.secondary.state_canonical(),
+        )

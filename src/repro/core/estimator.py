@@ -78,6 +78,27 @@ class ConfidenceEstimator(ABC):
     def reset(self) -> None:
         """Clear all adaptive state."""
 
+    def state_canonical(self) -> tuple:
+        """All adaptive state as a nested tuple of plain Python ints.
+
+        The conformance hook for the differential-verification layer
+        (see ``docs/testing.md``): production estimators and their
+        reference oracles must lower to the same tuple after the same
+        train/shift stream.  Transient scratch state (e.g. the fusion
+        estimators' pending component signals) is excluded.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose canonical state"
+        )
+
+    def state_digest(self) -> str:
+        """SHA-256 of ``repr(self.state_canonical())``."""
+        import hashlib
+
+        return hashlib.sha256(
+            repr(self.state_canonical()).encode("utf-8")
+        ).hexdigest()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -103,3 +124,6 @@ class AlwaysHighEstimator(ConfidenceEstimator):
     @property
     def storage_bits(self) -> int:
         return 0
+
+    def state_canonical(self) -> tuple:
+        return ("always_high",)

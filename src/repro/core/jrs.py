@@ -111,6 +111,14 @@ class JRSEstimator(ConfidenceEstimator):
         self._table.fill(0)
         self._history.clear()
 
+    def state_canonical(self) -> tuple:
+        return (
+            "jrs",
+            bool(self.enhanced),
+            tuple(int(v) for v in self._table.snapshot()),
+            self._history.bits,
+        )
+
     # -- persistence ---------------------------------------------------
 
     _STATE_KIND = "jrs_estimator"

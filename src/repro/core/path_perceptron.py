@@ -145,3 +145,12 @@ class PathPerceptronConfidenceEstimator(ConfidenceEstimator):
         self._bias[:] = 0
         self._history.clear()
         self._path.clear()
+
+    def state_canonical(self) -> tuple:
+        return (
+            "path_perceptron",
+            tuple(tuple(int(w) for w in row) for row in self._weights),
+            tuple(int(b) for b in self._bias),
+            self._history.bits,
+            tuple(self._path),
+        )

@@ -188,6 +188,16 @@ class PerceptronConfidenceEstimator(ConfidenceEstimator):
         self._array.reset()
         self._history.clear()
 
+    def state_canonical(self) -> tuple:
+        return (
+            "perceptron_estimator",
+            self.mode,
+            tuple(
+                tuple(int(w) for w in row) for row in self._array.snapshot()
+            ),
+            self._history.bits,
+        )
+
     def config_label(self) -> str:
         """Table 6 style configuration label, e.g. ``P128W8H32``."""
         return f"P{self.entries}W{self.weight_bits}H{self.history_length}"

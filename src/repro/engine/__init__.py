@@ -9,6 +9,7 @@ See ``docs/engine.md`` for the full design.
 """
 
 from repro.engine.cache import CacheStats, ReplayCache, TraceCache
+from repro.engine.canonical import METRICS_SCHEMA, canonical_metrics, metrics_digest
 from repro.engine.engine import (
     Engine,
     EngineStats,
@@ -38,6 +39,7 @@ __all__ = [
     "EngineStats",
     "EstimatorSpec",
     "GATING_POLICY",
+    "METRICS_SCHEMA",
     "NO_POLICY",
     "PolicySpec",
     "PredictorSpec",
@@ -48,7 +50,9 @@ __all__ = [
     "SpecError",
     "THREE_REGION_POLICY",
     "TraceCache",
+    "canonical_metrics",
     "configure_engine",
     "execute_job",
     "get_engine",
+    "metrics_digest",
 ]

@@ -18,6 +18,7 @@ per-experiment deltas in the run summary.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -28,6 +29,8 @@ from typing import Optional, Tuple
 from repro.engine.job import ReplayOutcome
 
 __all__ = ["CacheStats", "ReplayCache", "TraceCache"]
+
+logger = logging.getLogger(__name__)
 
 #: Default in-memory replay budget: total cached post-warm-up events.
 #: ~650 MB worst case at ~300 B/event; at --quick sizing it holds a few
@@ -47,9 +50,12 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    corrupt: int = 0  # unreadable disk entries dropped and recomputed
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.disk_hits, self.evictions)
+        return CacheStats(
+            self.hits, self.misses, self.disk_hits, self.evictions, self.corrupt
+        )
 
     def since(self, other: "CacheStats") -> "CacheStats":
         """Delta relative to an earlier snapshot."""
@@ -58,6 +64,7 @@ class CacheStats:
             misses=self.misses - other.misses,
             disk_hits=self.disk_hits - other.disk_hits,
             evictions=self.evictions - other.evictions,
+            corrupt=self.corrupt - other.corrupt,
         )
 
     @property
@@ -66,7 +73,8 @@ class CacheStats:
 
     def format(self) -> str:
         disk = f" ({self.disk_hits} from disk)" if self.disk_hits else ""
-        return f"{self.hits} hits{disk} / {self.misses} misses"
+        bad = f", {self.corrupt} corrupt dropped" if self.corrupt else ""
+        return f"{self.hits} hits{disk} / {self.misses} misses{bad}"
 
 
 class _LruBudget:
@@ -137,17 +145,34 @@ class ReplayCache:
         if self.disk_dir is not None:
             path = self._disk_path(fingerprint)
             try:
-                with open(path, "rb") as fh:
-                    events, result = pickle.load(fh)
-            except (OSError, pickle.UnpicklingError, EOFError):
-                pass
-            else:
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                outcome = ReplayOutcome(events, result, from_cache=True)
-                self._lru.put(fingerprint, outcome, cost=max(1, len(events)))
-                self.stats.evictions = self._lru.evictions
-                return outcome
+                fh = open(path, "rb")
+            except OSError:
+                fh = None  # no entry on disk: an ordinary miss
+            if fh is not None:
+                try:
+                    with fh:
+                        events, result = pickle.load(fh)
+                except Exception as exc:
+                    # Truncated/garbled/wrong-shape pickle: the entry is
+                    # unusable.  Drop it (so put() can rewrite a good
+                    # one), log, and fall through to a recompute.
+                    self.stats.corrupt += 1
+                    logger.warning(
+                        "replay cache: dropping corrupt entry %s (%s: %s); "
+                        "recomputing",
+                        path, type(exc).__name__, exc,
+                    )
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                else:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    outcome = ReplayOutcome(events, result, from_cache=True)
+                    self._lru.put(fingerprint, outcome, cost=max(1, len(events)))
+                    self.stats.evictions = self._lru.evictions
+                    return outcome
         self.stats.misses += 1
         return None
 

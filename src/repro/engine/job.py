@@ -119,3 +119,15 @@ class ReplayOutcome:
     def __iter__(self) -> Iterator:
         yield self.events
         yield self.result
+
+    def canonical_metrics(self) -> dict:
+        """All-integer canonical metric dict (the golden-gate payload)."""
+        from repro.engine.canonical import canonical_metrics
+
+        return canonical_metrics(self.result)
+
+    def metrics_digest(self) -> str:
+        """SHA-256 digest of :meth:`canonical_metrics`."""
+        from repro.engine.canonical import metrics_digest
+
+        return metrics_digest(self.canonical_metrics())

@@ -260,9 +260,29 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="persist the replay cache on disk at PATH across runs",
     )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "run the verification suite (python -m repro.verify) first "
+            "and abort if it fails; --quick selects the quick profile"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.verify:
+        from repro.verify.cli import run_verification
+
+        status = run_verification(
+            "quick" if args.quick else "full", jobs=args.jobs
+        )
+        if status != 0:
+            print(
+                "\naborting: verification failed -- experiment numbers "
+                "from this tree would not be trustworthy"
+            )
+            return status
     engine = configure_engine(max_workers=args.jobs, cache_dir=args.cache_dir)
     settings = resolve_settings(quick=args.quick, branches=args.branches)
 

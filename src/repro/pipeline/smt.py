@@ -184,12 +184,22 @@ class SmtSimulator:
     def simulate(
         self,
         events_a: Sequence[FrontEndEvent],
-        events_b: Sequence[FrontEndEvent],
+        events_b: Optional[Sequence[FrontEndEvent]] = None,
         max_cycles: Optional[int] = None,
     ) -> SmtStats:
-        """Run both threads to completion; returns combined stats."""
+        """Run the thread(s) to completion; returns combined stats.
+
+        Omitting ``events_b`` runs a single-thread configuration on the
+        same shared-fetch machinery: the lone thread receives the full
+        fetch bandwidth every cycle and gating (when ``gate_yields``)
+        simply idles the fetch stage.  The verification suite uses this
+        to check the SMT arbitration collapses to the single-thread
+        model when there is no sibling to arbitrate against.
+        """
         cfg = self.config
-        threads = [_Thread(events_a, 0x55AA), _Thread(events_b, 0x1234)]
+        threads = [_Thread(events_a, 0x55AA)]
+        if events_b is not None:
+            threads.append(_Thread(events_b, 0x1234))
         stats = SmtStats(threads=[t.stats for t in threads])
         limit = max_cycles if max_cycles is not None else 100_000_000
         cycle = 0

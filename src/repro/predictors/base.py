@@ -125,5 +125,27 @@ class BranchPredictor(ABC):
         """Clear tables, history and statistics."""
         self.stats.reset()
 
+    def state_canonical(self) -> tuple:
+        """All adaptive state as a nested tuple of plain Python ints.
+
+        The conformance hook for the differential-verification layer
+        (see ``docs/testing.md``): a production structure and its
+        reference oracle must lower to the *same* tuple after the same
+        update stream, so a single digest comparison certifies whole
+        tables at once.  Transient per-branch scratch state (pending
+        signals, stats counters) is excluded.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose canonical state"
+        )
+
+    def state_digest(self) -> str:
+        """SHA-256 of ``repr(self.state_canonical())``."""
+        import hashlib
+
+        return hashlib.sha256(
+            repr(self.state_canonical()).encode("utf-8")
+        ).hexdigest()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -59,6 +59,9 @@ class BimodalPredictor(BranchPredictor):
         super().reset()
         self._table.fill((self._table.max_value + 1) // 2)
 
+    def state_canonical(self) -> tuple:
+        return ("bimodal", tuple(int(v) for v in self._table.snapshot()))
+
     def state_dict(self) -> dict:
         """Serialisable table state."""
         return {"table": self._table.state_dict()["table"]}

@@ -113,6 +113,14 @@ class GSharePredictor(BranchPredictor):
         if self._owns_history:
             self._history.clear()
 
+    def state_canonical(self) -> tuple:
+        return (
+            "gshare",
+            self._history_length,
+            tuple(int(v) for v in self._table.snapshot()),
+            self._history.bits,
+        )
+
     def state_dict(self) -> dict:
         """Serialisable table + history state."""
         return {

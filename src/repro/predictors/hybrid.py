@@ -96,6 +96,14 @@ class CombinedPredictor(BranchPredictor):
         self._meta.fill(2)
         self._history.clear()
 
+    def state_canonical(self) -> tuple:
+        return (
+            "combined",
+            self.component_a.state_canonical(),
+            self.component_b.state_canonical(),
+            tuple(int(v) for v in self._meta.snapshot()),
+            self._history.bits,
+        )
 
     _STATE_KIND = "combined_predictor"
 

@@ -98,6 +98,15 @@ class PerceptronPredictor(BranchPredictor):
         if self._owns_history:
             self._history.clear()
 
+    def state_canonical(self) -> tuple:
+        return (
+            "perceptron_predictor",
+            tuple(
+                tuple(int(w) for w in row) for row in self._array.snapshot()
+            ),
+            self._history.bits,
+        )
+
     def state_dict(self) -> dict:
         """Serialisable weight + history state."""
         return {

@@ -1,0 +1,48 @@
+"""Differential-verification subsystem.
+
+Three layers of correctness tooling built on the engine's
+content-addressed jobs (see ``docs/testing.md``):
+
+1. **Reference oracles** (:mod:`repro.verify.oracles`) -- deliberately
+   slow, obviously correct pure-Python reimplementations of every
+   registered predictor/estimator kind, cross-checked branch by branch
+   against the production modules (:mod:`repro.verify.differential`).
+2. **Metamorphic invariants** (:mod:`repro.verify.metamorphic`) --
+   pipeline-level properties that must hold regardless of parameter
+   values (oracle gating never adds wrong-path work, a reversal policy
+   with an unreachable strong threshold equals gating-only, ...).
+3. **Golden-metrics gate** (:mod:`repro.verify.golden`) -- checked-in
+   baselines mapping SimJob fingerprints to canonical metric digests
+   for a fixed verify matrix, re-run and diffed by
+   ``python -m repro.verify``.
+"""
+
+from repro.verify.matrix import (
+    CASES,
+    PROFILES,
+    VerifyCase,
+    VerifyError,
+    VerifyProfile,
+    assert_full_coverage,
+    jobs_for_profile,
+    missing_estimator_kinds,
+    missing_policy_kinds,
+    missing_predictor_kinds,
+    specs_for_estimator_kind,
+    specs_for_predictor_kind,
+)
+
+__all__ = [
+    "CASES",
+    "PROFILES",
+    "VerifyCase",
+    "VerifyError",
+    "VerifyProfile",
+    "assert_full_coverage",
+    "jobs_for_profile",
+    "missing_estimator_kinds",
+    "missing_policy_kinds",
+    "missing_predictor_kinds",
+    "specs_for_estimator_kind",
+    "specs_for_predictor_kind",
+]

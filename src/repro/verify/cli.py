@@ -1,0 +1,225 @@
+"""``python -m repro.verify`` -- run the verification layers.
+
+Exit status 0 means every requested layer passed; 1 means at least one
+differential replay diverged, an invariant broke, or the golden gate
+found drift.  ``--refresh --reason '<why>'`` rewrites the golden
+baseline instead of checking it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.engine.engine import Engine
+from repro.verify.differential import run_differential
+from repro.verify.golden import (
+    compare,
+    compute_entries,
+    load_baseline,
+    write_baseline,
+)
+from repro.verify.matrix import (
+    CASES,
+    PROFILES,
+    VerifyError,
+    assert_full_coverage,
+)
+from repro.verify.metamorphic import run_invariants
+from repro.verify.mutation import MUTATIONS, apply_mutation
+
+__all__ = ["main", "run_verification"]
+
+
+def _run_differential_layer(engine, profile, stream) -> List[str]:
+    failures = []
+    print(
+        f"== differential: {len(CASES)} cases x "
+        f"{profile.differential_branches} branches ==",
+        file=stream,
+    )
+    trace = engine.trace(
+        profile.benchmarks[0], profile.differential_branches, seed=1
+    )
+    for case in CASES:
+        report = run_differential(
+            trace,
+            case.predictor,
+            case.estimator,
+            case.policy,
+            label=case.label,
+        )
+        print(report.format(), file=stream)
+        if not report.ok:
+            failures.append(f"differential: {report.format()}")
+    return failures
+
+
+def _run_invariant_layer(engine, profile, stream) -> List[str]:
+    failures = []
+    print("== metamorphic invariants ==", file=stream)
+    for result in run_invariants(engine, profile):
+        print(result.format(), file=stream)
+        if not result.ok:
+            failures.append(f"invariant: {result.format()}")
+    return failures
+
+
+def _run_golden_layer(engine, profile, refresh, reason, stream) -> List[str]:
+    print(
+        f"== golden gate [{profile.name}]: {len(CASES)} cases x "
+        f"{len(profile.benchmarks)} benchmarks ==",
+        file=stream,
+    )
+    entries = compute_entries(profile, engine)
+    if refresh:
+        path = write_baseline(profile, entries, reason)
+        print(f"refreshed {path} ({len(entries)} entries): {reason}", file=stream)
+        return []
+    baseline = load_baseline(profile.name)
+    report = compare(baseline, entries, profile.name)
+    print(report.format(), file=stream)
+    if report.ok:
+        return []
+    return [f"golden: {line}" for line in report.format().splitlines()[1:]]
+
+
+def run_verification(
+    profile_name: str,
+    differential: bool = True,
+    invariants: bool = True,
+    golden: bool = True,
+    refresh: bool = False,
+    reason: Optional[str] = None,
+    mutate: Optional[str] = None,
+    jobs: int = 1,
+    markdown: Optional[str] = None,
+    stream=None,
+) -> int:
+    """Run the requested verification layers; returns an exit status.
+
+    All requested layers run to completion even after a failure, so one
+    invocation reports every problem at once.
+    """
+    stream = stream if stream is not None else sys.stdout
+    profile = PROFILES[profile_name]
+    if refresh and not (reason and reason.strip()):
+        print("error: --refresh requires --reason '<why>'", file=stream)
+        return 2
+    if mutate is not None and jobs != 1:
+        # Mutations monkey-patch in process; worker processes would
+        # re-import pristine modules and silently undo them.
+        jobs = 1
+    engine = Engine(max_workers=jobs)
+
+    failures: List[str] = []
+    layers = []
+    try:
+        assert_full_coverage()
+        layers.append(("coverage", True, "all registered kinds covered"))
+    except VerifyError as exc:
+        failures.append(f"coverage: {exc}")
+        layers.append(("coverage", False, str(exc)))
+        print(f"FAIL coverage: {exc}", file=stream)
+
+    def _layers():
+        if differential:
+            yield "differential", _run_differential_layer(engine, profile, stream)
+        if invariants:
+            yield "invariants", _run_invariant_layer(engine, profile, stream)
+        if golden:
+            yield "golden", _run_golden_layer(
+                engine, profile, refresh, reason, stream
+            )
+
+    try:
+        if mutate is not None:
+            with apply_mutation(mutate):
+                for name, layer_failures in _layers():
+                    failures.extend(layer_failures)
+                    layers.append((name, not layer_failures, f"{len(layer_failures)} failure(s)"))
+        else:
+            for name, layer_failures in _layers():
+                failures.extend(layer_failures)
+                layers.append((name, not layer_failures, f"{len(layer_failures)} failure(s)"))
+    except VerifyError as exc:
+        failures.append(str(exc))
+        print(f"FAIL {exc}", file=stream)
+
+    if markdown:
+        from repro.analysis.report import render_verification_report
+
+        with open(markdown, "w", encoding="utf-8") as fh:
+            fh.write(
+                render_verification_report(
+                    layers,
+                    title=f"Verification report ({profile.name})",
+                    failures=failures,
+                )
+            )
+            fh.write("\n")
+        print(f"wrote {markdown}", file=stream)
+
+    if failures:
+        print(f"\nverification FAILED ({len(failures)} problem(s)):", file=stream)
+        for failure in failures:
+            print(f"  - {failure}", file=stream)
+        return 1
+    print("\nverification passed", file=stream)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential, metamorphic and golden-gate verification.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the quick profile (smaller traces, fewer benchmarks)",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="rewrite the golden baseline instead of checking it",
+    )
+    parser.add_argument(
+        "--reason",
+        default=None,
+        help="why the baseline is being refreshed (required with --refresh)",
+    )
+    parser.add_argument(
+        "--mutate",
+        default=None,
+        choices=sorted(MUTATIONS),
+        help="activate a named mutation first (the gate must then fail)",
+    )
+    parser.add_argument(
+        "--skip-differential", action="store_true", help="skip layer 1"
+    )
+    parser.add_argument(
+        "--skip-invariants", action="store_true", help="skip layer 2"
+    )
+    parser.add_argument("--skip-golden", action="store_true", help="skip layer 3")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="engine worker processes"
+    )
+    parser.add_argument(
+        "--markdown", default=None, help="also write a markdown report here"
+    )
+    args = parser.parse_args(argv)
+    if args.refresh and not args.reason:
+        parser.error("--refresh requires --reason '<why>'")
+    return run_verification(
+        "quick" if args.quick else "full",
+        differential=not args.skip_differential,
+        invariants=not args.skip_invariants,
+        golden=not args.skip_golden,
+        refresh=args.refresh,
+        reason=args.reason,
+        mutate=args.mutate,
+        jobs=args.jobs,
+        markdown=args.markdown,
+    )

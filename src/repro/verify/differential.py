@@ -1,0 +1,149 @@
+"""Branch-by-branch cross-check: production modules vs reference oracles.
+
+:func:`run_differential` replays one trace through the production
+front end and the reference front end simultaneously and compares, for
+every dynamic branch, the prediction, the confidence signal (flag, raw
+output, level) and the policy decision -- plus, at periodic checkpoints
+and at the end, the sha256 digests of the complete predictor and
+estimator state.  The first divergence is reported with its branch
+index, pc and the two conflicting values, which in practice pinpoints
+the exact table/update rule that drifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.frontend import FrontEnd
+from repro.verify.oracles import (
+    RefFrontEnd,
+    reference_estimator,
+    reference_policy,
+    reference_predictor,
+)
+
+__all__ = ["Divergence", "DifferentialReport", "run_differential"]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where production and reference disagreed."""
+
+    index: int
+    pc: int
+    field: str
+    production: object
+    reference: object
+
+    def format(self) -> str:
+        return (
+            f"branch #{self.index} (pc={self.pc:#x}): {self.field} "
+            f"production={self.production!r} reference={self.reference!r}"
+        )
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of one production-vs-reference replay."""
+
+    label: str
+    branches: int
+    divergence: Optional[Divergence]
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def format(self) -> str:
+        if self.ok:
+            return f"ok   {self.label}: {self.branches} branches, no divergence"
+        return f"FAIL {self.label}: {self.divergence.format()}"
+
+
+def _first_mismatch(index, pc, pairs):
+    for field, production, reference in pairs:
+        if production != reference:
+            return Divergence(index, pc, field, production, reference)
+    return None
+
+
+def run_differential(
+    trace,
+    predictor_spec,
+    estimator_spec,
+    policy_spec,
+    label: str = "",
+    state_check_interval: int = 512,
+) -> DifferentialReport:
+    """Replay ``trace`` through both implementations, compare everything.
+
+    Args:
+        trace: Iterable of branch records (``.pc``/``.taken``).
+        predictor_spec: :class:`~repro.engine.specs.PredictorSpec`.
+        estimator_spec: :class:`~repro.engine.specs.EstimatorSpec`.
+        policy_spec: :class:`~repro.engine.specs.PolicySpec`.
+        label: Name used in the report.
+        state_check_interval: Compare full state digests every this many
+            branches (and always at the end).  Per-branch outputs alone
+            can hide latent state drift that only surfaces after
+            aliasing; digests cannot.
+    """
+    production = FrontEnd(
+        predictor_spec.build(), estimator_spec.build(), policy_spec.build()
+    )
+    reference = RefFrontEnd(
+        reference_predictor(predictor_spec),
+        reference_estimator(estimator_spec),
+        reference_policy(policy_spec),
+    )
+
+    index = 0
+    for record in trace:
+        prod = production.process(record)
+        ref = reference.process(record)
+        divergence = _first_mismatch(
+            index,
+            record.pc,
+            (
+                ("prediction", prod.prediction, ref.prediction),
+                ("final_prediction", prod.final_prediction, ref.final_prediction),
+                (
+                    "signal.low_confidence",
+                    prod.signal.low_confidence,
+                    ref.signal.low_confidence,
+                ),
+                ("signal.raw", prod.signal.raw, ref.signal.raw),
+                ("signal.level", prod.signal.level.value, ref.signal.level),
+                ("decision.action", prod.decision.action.value, ref.action),
+            ),
+        )
+        index += 1
+        if divergence is None and index % state_check_interval == 0:
+            divergence = _state_divergence(index - 1, record.pc, production, reference)
+        if divergence is not None:
+            return DifferentialReport(label, index, divergence)
+    divergence = None
+    if index:
+        divergence = _state_divergence(index - 1, 0, production, reference)
+    return DifferentialReport(label, index, divergence)
+
+
+def _state_divergence(index, pc, production, reference):
+    if production.predictor.state_digest() != reference.predictor.state_digest():
+        return Divergence(
+            index,
+            pc,
+            "predictor state",
+            production.predictor.state_canonical()[0],
+            "digest mismatch (inspect state_canonical())",
+        )
+    if production.estimator.state_digest() != reference.estimator.state_digest():
+        return Divergence(
+            index,
+            pc,
+            "estimator state",
+            production.estimator.state_canonical()[0],
+            "digest mismatch (inspect state_canonical())",
+        )
+    return None

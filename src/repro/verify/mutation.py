@@ -1,0 +1,83 @@
+"""Mutation smoke tests: prove the gate can actually fail.
+
+A regression gate that never fires is indistinguishable from one that
+works.  Each named mutation perturbs one algorithmic constant in the
+production code (in process, reversibly) so the verification layers can
+be run against a deliberately-wrong build; CI asserts the golden gate
+reports a drift naming the affected configuration.
+
+Mutations monkey-patch live objects, so the mutated run must execute
+in-process (``--jobs 1``): worker processes re-import the pristine
+modules and would silently un-mutate the code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator
+
+__all__ = ["MUTATIONS", "apply_mutation"]
+
+
+@contextlib.contextmanager
+def _mutate_perceptron_update() -> Iterator[None]:
+    """Double the perceptron bias update step.
+
+    Equivalent to training the bias weight with a learning constant of
+    2 instead of 1 -- a one-token bug in the weight-update rule.  Every
+    perceptron-based case in the matrix (estimator and predictor alike)
+    must drift.
+    """
+    from repro.common.perceptron import PerceptronArray
+
+    original = PerceptronArray.train
+
+    def doubled(self, pc, inputs, target):
+        original(self, pc, inputs, target)
+        row = self._weights[self.index(pc)]
+        row[0] = min(max(int(row[0]) + target, self._w_min), self._w_max)
+
+    PerceptronArray.train = doubled
+    try:
+        yield
+    finally:
+        PerceptronArray.train = original
+
+
+@contextlib.contextmanager
+def _mutate_jrs_reset() -> Iterator[None]:
+    """Make JRS counters saturate down instead of resetting to zero."""
+    from repro.core.jrs import JRSEstimator
+
+    original = JRSEstimator.train
+
+    def saturating(self, pc, prediction, correct, signal):
+        if correct:
+            original(self, pc, prediction, correct, signal)
+        else:
+            index = self._index(pc, prediction)
+            value = self._table.read(index)
+            if value > 0:
+                self._table.write(index, value - 1)
+
+    JRSEstimator.train = saturating
+    try:
+        yield
+    finally:
+        JRSEstimator.train = original
+
+
+MUTATIONS: Dict[str, contextlib.AbstractContextManager] = {
+    "perceptron-update": _mutate_perceptron_update,
+    "jrs-reset": _mutate_jrs_reset,
+}
+
+
+def apply_mutation(name: str):
+    """Context manager activating one named mutation."""
+    try:
+        return MUTATIONS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown mutation {name!r}; available: {sorted(MUTATIONS)}"
+        ) from None

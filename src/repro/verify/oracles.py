@@ -1,0 +1,803 @@
+"""Reference oracles: slow, obviously-correct reimplementations.
+
+Every predictor, estimator and policy kind registered in
+:mod:`repro.engine.specs` has a pure-Python twin here, written straight
+from the paper's prose with no numpy, no shared helper code and no
+clever indexing -- the point is that a bug would have to be made
+*twice, independently* to survive the differential cross-check.  Do not
+"optimise" these or refactor them to share code with the production
+modules; their value is their independence.
+
+Each reference mirrors the production component's protocol
+(``predict``/``update`` for predictors, ``estimate``/``train``/
+``shift_history`` for estimators) and exposes the same
+``state_canonical()`` tuple so whole-table state can be compared by
+digest at checkpoints, not just per-branch outputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "RefSignal",
+    "RefDecision",
+    "RefFrontEnd",
+    "reference_predictor",
+    "reference_estimator",
+    "reference_policy",
+]
+
+_U64 = (1 << 64) - 1
+
+
+def _fold(value: int, width: int) -> int:
+    """XOR successive ``width``-bit slices of ``value`` together."""
+    if width <= 0:
+        return 0
+    out = 0
+    while value:
+        out ^= value & ((1 << width) - 1)
+        value >>= width
+    return out
+
+
+def _mix(value: int) -> int:
+    """Splitmix64-style finalizer (independent restatement)."""
+    v = (value + 0x9E3779B97F4A7C15) & _U64
+    v = ((v ^ (v >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    v = ((v ^ (v >> 27)) * 0x94D049BB133111EB) & _U64
+    return v ^ (v >> 31)
+
+
+def _log2_exact(entries: int, what: str) -> int:
+    width = entries.bit_length() - 1
+    if (1 << width) != entries:
+        raise ValueError(f"{what} entries must be a power of two, got {entries}")
+    return width
+
+
+class _RefHistory:
+    """Global history as a plain integer shift register."""
+
+    def __init__(self, length: int):
+        self.length = length
+        self.bits = 0
+
+    def push(self, taken: bool) -> None:
+        self.bits = ((self.bits << 1) | (1 if taken else 0)) & (
+            (1 << self.length) - 1
+        )
+
+    def pm1(self, i: int) -> int:
+        """+/-1 view of bit ``i`` (0 = most recent branch)."""
+        return 1 if (self.bits >> i) & 1 else -1
+
+
+# ---------------------------------------------------------------------------
+# Signals, decisions, and the reference front-end protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RefSignal:
+    """Reference confidence signal (level as a plain string)."""
+
+    low_confidence: bool
+    raw: float
+    level: str  # "high" | "weak_low" | "strong_low"
+
+    @classmethod
+    def high(cls, raw) -> "RefSignal":
+        return cls(False, raw, "high")
+
+    @classmethod
+    def weak_low(cls, raw) -> "RefSignal":
+        return cls(True, raw, "weak_low")
+
+    @classmethod
+    def strong_low(cls, raw) -> "RefSignal":
+        return cls(True, raw, "strong_low")
+
+
+@dataclass(frozen=True)
+class RefDecision:
+    """Reference policy verdict (action as a plain string)."""
+
+    action: str  # "normal" | "gate" | "reverse"
+    final_prediction: bool
+
+
+@dataclass(frozen=True)
+class RefEvent:
+    """What the reference front-end observed for one branch."""
+
+    pc: int
+    taken: bool
+    prediction: bool
+    final_prediction: bool
+    signal: RefSignal
+    action: str
+
+
+def _digest(canonical: tuple) -> str:
+    return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Reference predictors
+# ---------------------------------------------------------------------------
+
+
+class RefBimodal:
+    """Per-address saturating-counter predictor (Smith)."""
+
+    def __init__(self, entries: int = 16384, counter_bits: int = 2):
+        self.entries = entries
+        self.bits = counter_bits
+        self.max = (1 << counter_bits) - 1
+        self.table = [(1 << counter_bits) // 2] * entries
+
+    def _i(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return bool(self.table[self._i(pc)] >> (self.bits - 1))
+
+    def train(self, pc: int, taken: bool, prediction: bool) -> None:
+        i = self._i(pc)
+        v = self.table[i]
+        if taken:
+            if v < self.max:
+                v += 1
+        elif v > 0:
+            v -= 1
+        self.table[i] = v
+
+    def shift(self, taken: bool) -> None:
+        pass  # no history of its own
+
+    def state_canonical(self) -> tuple:
+        return ("bimodal", tuple(self.table))
+
+
+class RefGShare:
+    """pc XOR folded-history indexed counter table (McFarling)."""
+
+    def __init__(
+        self,
+        entries: int = 65536,
+        history_length: int = 14,
+        counter_bits: int = 2,
+        history: Optional[_RefHistory] = None,
+    ):
+        self.index_bits = _log2_exact(entries, "gshare")
+        self.bits = counter_bits
+        self.max = (1 << counter_bits) - 1
+        self.table = [(1 << counter_bits) // 2] * entries
+        self.hl = history_length
+        self.history = history if history is not None else _RefHistory(history_length)
+        self.owns_history = history is None
+
+    def _i(self, pc: int) -> int:
+        h = self.history.bits & ((1 << self.hl) - 1)
+        return _fold(pc >> 2, self.index_bits) ^ _fold(h, self.index_bits)
+
+    def predict(self, pc: int) -> bool:
+        return bool(self.table[self._i(pc)] >> (self.bits - 1))
+
+    def train(self, pc: int, taken: bool, prediction: bool) -> None:
+        i = self._i(pc)
+        v = self.table[i]
+        if taken:
+            if v < self.max:
+                v += 1
+        elif v > 0:
+            v -= 1
+        self.table[i] = v
+
+    def shift(self, taken: bool) -> None:
+        if self.owns_history:
+            self.history.push(taken)
+
+    def state_canonical(self) -> tuple:
+        return ("gshare", self.hl, tuple(self.table), self.history.bits)
+
+
+class RefPerceptronPredictor:
+    """Jimenez-Lin perceptron trained on branch direction."""
+
+    def __init__(
+        self,
+        entries: int = 512,
+        history_length: int = 24,
+        weight_bits: int = 8,
+        theta: Optional[int] = None,
+        history: Optional[_RefHistory] = None,
+    ):
+        self.entries = entries
+        self.hl = history_length
+        self.w_max = (1 << (weight_bits - 1)) - 1
+        self.w_min = -(1 << (weight_bits - 1))
+        self.theta = int(1.93 * history_length + 14) if theta is None else theta
+        # Row layout matches the hardware array: bias first.
+        self.weights = [[0] * (history_length + 1) for _ in range(entries)]
+        self.history = history if history is not None else _RefHistory(history_length)
+        self.owns_history = history is None
+
+    def output(self, pc: int) -> int:
+        row = self.weights[(pc >> 2) % self.entries]
+        y = row[0]
+        for i in range(self.hl):
+            y += row[i + 1] * self.history.pm1(i)
+        return y
+
+    def predict(self, pc: int) -> bool:
+        return self.output(pc) >= 0
+
+    def _clamp(self, v: int) -> int:
+        return min(max(v, self.w_min), self.w_max)
+
+    def train(self, pc: int, taken: bool, prediction: bool) -> None:
+        y = self.output(pc)
+        if prediction != taken or abs(y) <= self.theta:
+            target = 1 if taken else -1
+            row = self.weights[(pc >> 2) % self.entries]
+            row[0] = self._clamp(row[0] + target)
+            for i in range(self.hl):
+                row[i + 1] = self._clamp(row[i + 1] + target * self.history.pm1(i))
+
+    def shift(self, taken: bool) -> None:
+        if self.owns_history:
+            self.history.push(taken)
+
+    def state_canonical(self) -> tuple:
+        return (
+            "perceptron_predictor",
+            tuple(tuple(row) for row in self.weights),
+            self.history.bits,
+        )
+
+
+class RefCombined:
+    """Two components arbitrated by a 2-bit chooser (McFarling hybrid)."""
+
+    def __init__(self, component_a, component_b, history: _RefHistory,
+                 meta_entries: int = 65536):
+        self.a = component_a
+        self.b = component_b
+        self.history = history
+        self.meta_entries = meta_entries
+        self.meta = [2] * meta_entries  # weakly prefer component B
+
+    def _mi(self, pc: int) -> int:
+        return (pc >> 2) % self.meta_entries
+
+    def predict(self, pc: int) -> bool:
+        use_b = bool(self.meta[self._mi(pc)] >> 1)
+        return self.b.predict(pc) if use_b else self.a.predict(pc)
+
+    def update(self, pc: int, taken: bool, prediction: bool) -> None:
+        """Retire one branch: chooser, components, shared history."""
+        pred_a = self.a.predict(pc)
+        pred_b = self.b.predict(pc)
+        if pred_a != pred_b:
+            i = self._mi(pc)
+            v = self.meta[i]
+            if pred_b == taken:
+                if v < 3:
+                    v += 1
+            elif v > 0:
+                v -= 1
+            self.meta[i] = v
+        self.a.train(pc, taken, pred_a)
+        self.b.train(pc, taken, pred_b)
+        # The hybrid owns the single shared history register.
+        self.history.push(taken)
+
+    def state_canonical(self) -> tuple:
+        return (
+            "combined",
+            self.a.state_canonical(),
+            self.b.state_canonical(),
+            tuple(self.meta),
+            self.history.bits,
+        )
+
+    def state_digest(self) -> str:
+        return _digest(self.state_canonical())
+
+
+def _ref_baseline_hybrid(
+    bimodal_entries: int = 16384,
+    gshare_entries: int = 65536,
+    meta_entries: int = 65536,
+    history_length: int = 10,
+) -> RefCombined:
+    history = _RefHistory(max(history_length, 1))
+    return RefCombined(
+        RefBimodal(bimodal_entries),
+        RefGShare(gshare_entries, history_length, history=history),
+        history,
+        meta_entries,
+    )
+
+
+def _ref_gshare_perceptron_hybrid(
+    gshare_entries: int = 65536,
+    gshare_history: int = 14,
+    perceptron_entries: int = 512,
+    perceptron_history: int = 24,
+    meta_entries: int = 65536,
+) -> RefCombined:
+    history = _RefHistory(max(gshare_history, perceptron_history))
+    return RefCombined(
+        RefGShare(gshare_entries, gshare_history, history=history),
+        RefPerceptronPredictor(
+            perceptron_entries, perceptron_history, history=history
+        ),
+        history,
+        meta_entries,
+    )
+
+
+_PREDICTORS: Dict[str, Callable] = {
+    "baseline_hybrid": _ref_baseline_hybrid,
+    "gshare_perceptron_hybrid": _ref_gshare_perceptron_hybrid,
+}
+
+
+# ---------------------------------------------------------------------------
+# Reference estimators
+# ---------------------------------------------------------------------------
+
+
+class RefAlwaysHigh:
+    def estimate(self, pc: int, prediction: bool) -> RefSignal:
+        return RefSignal.high(0.0)
+
+    def train(self, pc, prediction, correct, signal) -> None:
+        pass
+
+    def shift_history(self, taken: bool) -> None:
+        pass
+
+    def state_canonical(self) -> tuple:
+        return ("always_high",)
+
+    def state_digest(self) -> str:
+        return _digest(self.state_canonical())
+
+
+class RefJRS:
+    """Miss-distance resetting counters, gshare-style indexed."""
+
+    def __init__(
+        self,
+        entries: int = 8192,
+        counter_bits: int = 4,
+        threshold: int = 7,
+        history_length: int = 13,
+        enhanced: bool = True,
+    ):
+        self.index_bits = _log2_exact(entries, "JRS")
+        self.max = (1 << counter_bits) - 1
+        self.table = [0] * entries
+        self.threshold = threshold
+        self.enhanced = enhanced
+        self.history = _RefHistory(history_length)
+
+    def _i(self, pc: int, prediction: bool) -> int:
+        context = self.history.bits
+        if self.enhanced:
+            context = (context << 1) | (1 if prediction else 0)
+        m = (1 << self.index_bits) - 1
+        return (_fold(pc >> 2, self.index_bits) ^ _fold(context, self.index_bits)) & m
+
+    def estimate(self, pc: int, prediction: bool) -> RefSignal:
+        v = self.table[self._i(pc, prediction)]
+        if v >= self.threshold:
+            return RefSignal.high(float(v))
+        return RefSignal.weak_low(float(v))
+
+    def train(self, pc, prediction, correct, signal) -> None:
+        i = self._i(pc, prediction)
+        if correct:
+            if self.table[i] < self.max:
+                self.table[i] += 1
+        else:
+            self.table[i] = 0
+
+    def shift_history(self, taken: bool) -> None:
+        self.history.push(taken)
+
+    def state_canonical(self) -> tuple:
+        return ("jrs", bool(self.enhanced), tuple(self.table), self.history.bits)
+
+    def state_digest(self) -> str:
+        return _digest(self.state_canonical())
+
+
+class RefPerceptronEstimator:
+    """The paper's estimator: cic (correct/incorrect) or tnt training."""
+
+    def __init__(
+        self,
+        entries: int = 128,
+        history_length: int = 32,
+        weight_bits: int = 8,
+        threshold: float = 0.0,
+        training_threshold: int = 96,
+        strong_threshold: Optional[float] = None,
+        mode: str = "cic",
+    ):
+        self.entries = entries
+        self.hl = history_length
+        self.w_max = (1 << (weight_bits - 1)) - 1
+        self.w_min = -(1 << (weight_bits - 1))
+        self.threshold = threshold
+        self.training_threshold = training_threshold
+        self.strong_threshold = strong_threshold
+        self.mode = mode
+        self.tnt_theta = int(1.93 * history_length + 14)
+        self.weights = [[0] * (history_length + 1) for _ in range(entries)]
+        self.history = _RefHistory(history_length)
+
+    def output(self, pc: int) -> int:
+        row = self.weights[(pc >> 2) % self.entries]
+        y = row[0]
+        for i in range(self.hl):
+            y += row[i + 1] * self.history.pm1(i)
+        return y
+
+    def estimate(self, pc: int, prediction: bool) -> RefSignal:
+        y = self.output(pc)
+        if self.mode == "cic":
+            if y <= self.threshold:
+                return RefSignal.high(y)
+            if self.strong_threshold is not None and y > self.strong_threshold:
+                return RefSignal.strong_low(y)
+            return RefSignal.weak_low(y)
+        if abs(y) <= self.threshold:
+            return RefSignal.weak_low(y)
+        return RefSignal.high(y)
+
+    def _clamp(self, v: int) -> int:
+        return min(max(v, self.w_min), self.w_max)
+
+    def _step(self, pc: int, target: int) -> None:
+        row = self.weights[(pc >> 2) % self.entries]
+        row[0] = self._clamp(row[0] + target)
+        for i in range(self.hl):
+            row[i + 1] = self._clamp(row[i + 1] + target * self.history.pm1(i))
+
+    def train(self, pc, prediction, correct, signal) -> None:
+        y = signal.raw
+        if self.mode == "cic":
+            p = -1 if correct else 1
+            c = 1 if signal.low_confidence else -1
+            if c != p or abs(y) <= self.training_threshold:
+                self._step(pc, p)
+        else:
+            taken = prediction if correct else not prediction
+            if (y >= 0) != taken or abs(y) <= self.tnt_theta:
+                self._step(pc, 1 if taken else -1)
+
+    def shift_history(self, taken: bool) -> None:
+        self.history.push(taken)
+
+    def state_canonical(self) -> tuple:
+        return (
+            "perceptron_estimator",
+            self.mode,
+            tuple(tuple(row) for row in self.weights),
+            self.history.bits,
+        )
+
+    def state_digest(self) -> str:
+        return _digest(self.state_canonical())
+
+
+class RefPathPerceptron:
+    """cic-trained perceptron with path-hashed per-position weights."""
+
+    def __init__(
+        self,
+        table_entries: int = 256,
+        history_length: int = 16,
+        weight_bits: int = 8,
+        threshold: float = 0.0,
+        training_threshold: int = 64,
+    ):
+        self.entries = table_entries
+        self.hl = history_length
+        self.w_max = (1 << (weight_bits - 1)) - 1
+        self.w_min = -(1 << (weight_bits - 1))
+        self.threshold = threshold
+        self.training_threshold = training_threshold
+        self.weights = [[0] * table_entries for _ in range(history_length)]
+        self.bias = [0] * table_entries
+        self.history = _RefHistory(history_length)
+        self.path: List[int] = []
+
+    def _indices(self, pc: int) -> List[int]:
+        out = []
+        for i in range(self.hl):
+            past = self.path[-(i + 1)] if i < len(self.path) else 0
+            out.append(
+                _mix(((pc >> 2) << 20) ^ ((past >> 2) << 4) ^ i) % self.entries
+            )
+        return out
+
+    def output(self, pc: int) -> int:
+        y = self.bias[(pc >> 2) % self.entries]
+        for i, idx in enumerate(self._indices(pc)):
+            y += self.weights[i][idx] * self.history.pm1(i)
+        return y
+
+    def estimate(self, pc: int, prediction: bool) -> RefSignal:
+        y = self.output(pc)
+        if y > self.threshold:
+            return RefSignal.weak_low(float(y))
+        return RefSignal.high(float(y))
+
+    def _clamp(self, v: int) -> int:
+        return min(max(v, self.w_min), self.w_max)
+
+    def train(self, pc, prediction, correct, signal) -> None:
+        y = signal.raw
+        p = -1 if correct else 1
+        c = 1 if signal.low_confidence else -1
+        if c != p or abs(y) <= self.training_threshold:
+            for i, idx in enumerate(self._indices(pc)):
+                self.weights[i][idx] = self._clamp(
+                    self.weights[i][idx] + p * self.history.pm1(i)
+                )
+            slot = (pc >> 2) % self.entries
+            self.bias[slot] = self._clamp(self.bias[slot] + p)
+        self.path.append(pc)
+        if len(self.path) > self.hl:
+            self.path.pop(0)
+
+    def shift_history(self, taken: bool) -> None:
+        self.history.push(taken)
+
+    def state_canonical(self) -> tuple:
+        return (
+            "path_perceptron",
+            tuple(tuple(row) for row in self.weights),
+            tuple(self.bias),
+            self.history.bits,
+            tuple(self.path),
+        )
+
+    def state_digest(self) -> str:
+        return _digest(self.state_canonical())
+
+
+class RefAgreement:
+    """Boolean fusion of two reference estimators."""
+
+    def __init__(self, primary, secondary, mode: str = "intersection"):
+        self.primary = primary
+        self.secondary = secondary
+        self.mode = mode
+        self._pending = None
+
+    def estimate(self, pc: int, prediction: bool) -> RefSignal:
+        first = self.primary.estimate(pc, prediction)
+        second = self.secondary.estimate(pc, prediction)
+        self._pending = (first, second)
+        if self.mode == "union":
+            low = first.low_confidence or second.low_confidence
+        else:
+            low = first.low_confidence and second.low_confidence
+        if not low:
+            return RefSignal.high(first.raw)
+        if first.level == "strong_low":
+            return RefSignal.strong_low(first.raw)
+        return RefSignal.weak_low(first.raw)
+
+    def train(self, pc, prediction, correct, signal) -> None:
+        if self._pending is not None:
+            first, second = self._pending
+            self._pending = None
+        else:
+            first = self.primary.estimate(pc, prediction)
+            second = self.secondary.estimate(pc, prediction)
+        self.primary.train(pc, prediction, correct, first)
+        self.secondary.train(pc, prediction, correct, second)
+
+    def shift_history(self, taken: bool) -> None:
+        self.primary.shift_history(taken)
+        self.secondary.shift_history(taken)
+
+    def state_canonical(self) -> tuple:
+        return (
+            "agreement",
+            self.mode,
+            self.primary.state_canonical(),
+            self.secondary.state_canonical(),
+        )
+
+    def state_digest(self) -> str:
+        return _digest(self.state_canonical())
+
+
+class RefCascade:
+    """Primary decides outside its neutral band; secondary inside."""
+
+    def __init__(self, primary, secondary, neutral_band: float = 30.0,
+                 primary_threshold: float = 0.0):
+        self.primary = primary
+        self.secondary = secondary
+        self.neutral_band = neutral_band
+        self.primary_threshold = primary_threshold
+        self._pending = None
+
+    def estimate(self, pc: int, prediction: bool) -> RefSignal:
+        first = self.primary.estimate(pc, prediction)
+        second = self.secondary.estimate(pc, prediction)
+        self._pending = (first, second)
+        if abs(first.raw - self.primary_threshold) > self.neutral_band:
+            return first
+        if second.low_confidence:
+            return RefSignal.weak_low(first.raw)
+        return RefSignal.high(first.raw)
+
+    def train(self, pc, prediction, correct, signal) -> None:
+        if self._pending is not None:
+            first, second = self._pending
+            self._pending = None
+        else:
+            first = self.primary.estimate(pc, prediction)
+            second = self.secondary.estimate(pc, prediction)
+        self.primary.train(pc, prediction, correct, first)
+        self.secondary.train(pc, prediction, correct, second)
+
+    def shift_history(self, taken: bool) -> None:
+        self.primary.shift_history(taken)
+        self.secondary.shift_history(taken)
+
+    def state_canonical(self) -> tuple:
+        return (
+            "cascade",
+            self.primary.state_canonical(),
+            self.secondary.state_canonical(),
+        )
+
+    def state_digest(self) -> str:
+        return _digest(self.state_canonical())
+
+
+def _ref_agreement(primary, secondary, mode="intersection"):
+    return RefAgreement(
+        reference_estimator(primary), reference_estimator(secondary), mode=mode
+    )
+
+
+def _ref_cascade(primary, secondary, neutral_band=30.0, primary_threshold=0.0):
+    return RefCascade(
+        reference_estimator(primary),
+        reference_estimator(secondary),
+        neutral_band=neutral_band,
+        primary_threshold=primary_threshold,
+    )
+
+
+_ESTIMATORS: Dict[str, Callable] = {
+    "always_high": RefAlwaysHigh,
+    "jrs": RefJRS,
+    "perceptron": RefPerceptronEstimator,
+    "path_perceptron": RefPathPerceptron,
+    "agreement": _ref_agreement,
+    "cascade": _ref_cascade,
+}
+
+
+# ---------------------------------------------------------------------------
+# Reference policies
+# ---------------------------------------------------------------------------
+
+
+class _RefNoControl:
+    def decide(self, signal: RefSignal, prediction: bool) -> RefDecision:
+        return RefDecision("normal", prediction)
+
+
+class _RefGatingOnly:
+    def decide(self, signal: RefSignal, prediction: bool) -> RefDecision:
+        if signal.low_confidence:
+            return RefDecision("gate", prediction)
+        return RefDecision("normal", prediction)
+
+
+class _RefThreeRegion:
+    def decide(self, signal: RefSignal, prediction: bool) -> RefDecision:
+        if signal.level == "strong_low":
+            return RefDecision("reverse", not prediction)
+        if signal.level == "weak_low":
+            return RefDecision("gate", prediction)
+        return RefDecision("normal", prediction)
+
+
+_POLICIES: Dict[str, Callable] = {
+    "none": _RefNoControl,
+    "gating": _RefGatingOnly,
+    "three_region": _RefThreeRegion,
+}
+
+
+# ---------------------------------------------------------------------------
+# Spec -> reference builders and the reference front-end
+# ---------------------------------------------------------------------------
+
+
+def reference_predictor(spec):
+    """Build the reference twin of a :class:`PredictorSpec`."""
+    try:
+        builder = _PREDICTORS[spec.kind]
+    except KeyError:
+        raise KeyError(
+            f"no reference oracle for predictor kind {spec.kind!r}; "
+            f"add one to repro.verify.oracles"
+        ) from None
+    return builder(**spec.param_dict())
+
+
+def reference_estimator(spec):
+    """Build the reference twin of an :class:`EstimatorSpec`."""
+    try:
+        builder = _ESTIMATORS[spec.kind]
+    except KeyError:
+        raise KeyError(
+            f"no reference oracle for estimator kind {spec.kind!r}; "
+            f"add one to repro.verify.oracles"
+        ) from None
+    return builder(**spec.param_dict())
+
+
+def reference_policy(spec):
+    """Build the reference twin of a :class:`PolicySpec`."""
+    try:
+        builder = _POLICIES[spec.kind]
+    except KeyError:
+        raise KeyError(
+            f"no reference oracle for policy kind {spec.kind!r}; "
+            f"add one to repro.verify.oracles"
+        ) from None
+    return builder(**spec.param_dict())
+
+
+class RefFrontEnd:
+    """The reference restatement of the per-branch protocol.
+
+    Mirrors :meth:`repro.core.frontend.FrontEnd.process`: predict,
+    estimate, decide, then retire (train predictor, train estimator on
+    the *raw* prediction outcome, shift the estimator history).
+    """
+
+    def __init__(self, predictor, estimator, policy):
+        self.predictor = predictor
+        self.estimator = estimator
+        self.policy = policy
+
+    def process(self, record) -> RefEvent:
+        pc = record.pc
+        prediction = self.predictor.predict(pc)
+        signal = self.estimator.estimate(pc, prediction)
+        decision = self.policy.decide(signal, prediction)
+        correct = prediction == record.taken
+        self.predictor.update(pc, record.taken, prediction)
+        self.estimator.train(pc, prediction, correct, signal)
+        self.estimator.shift_history(record.taken)
+        return RefEvent(
+            pc=pc,
+            taken=record.taken,
+            prediction=prediction,
+            final_prediction=decision.final_prediction,
+            signal=signal,
+            action=decision.action,
+        )

@@ -6,6 +6,8 @@ the determinism contract: serial, parallel and cached runs of the same
 jobs must be bit-identical.
 """
 
+import logging
+import os
 import pickle
 
 import pytest
@@ -282,3 +284,126 @@ class TestRunnerFlags:
         assert report.total_seconds == 1.0
         with pytest.raises(KeyError):
             report["nonesuch"]
+
+
+class TestCorruptDiskCache:
+    """A damaged disk entry must be dropped and recomputed, not raised."""
+
+    def _plant(self, tmp_path, payload: bytes) -> ReplayCache:
+        cache = ReplayCache(disk_dir=str(tmp_path))
+        path = cache._disk_path(JOB.fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        return cache
+
+    def test_truncated_pickle_recovers(self, tmp_path, caplog):
+        outcome = Engine().replay(JOB)
+        good = pickle.dumps((outcome.events, outcome.result))
+        cache = self._plant(tmp_path, good[: len(good) // 2])
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            assert cache.get(JOB.fingerprint) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert any("corrupt" in r.message for r in caplog.records)
+
+    def test_wrong_structure_recovers(self, tmp_path):
+        cache = self._plant(tmp_path, pickle.dumps("not an outcome tuple"))
+        assert cache.get(JOB.fingerprint) is None
+        assert cache.stats.corrupt == 1
+
+    def test_engine_recomputes_and_repairs(self, tmp_path, caplog):
+        # Warm a valid cache dir, then truncate the entry on disk.
+        warm = Engine(cache_dir=str(tmp_path))
+        expected = warm.replay(JOB)
+        path = warm._replays._disk_path(JOB.fingerprint)
+        with open(path, "rb") as fh:
+            good = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(good[: len(good) // 3])
+
+        engine = Engine(cache_dir=str(tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            outcome = engine.replay(JOB)
+        assert not outcome.from_cache  # recomputed, not served corrupt
+        assert outcome.events == expected.events
+        assert engine.stats.replay.corrupt == 1
+        # The corrupt file was unlinked so the recompute re-wrote it;
+        # a third engine must now get a clean disk hit.
+        again = Engine(cache_dir=str(tmp_path)).replay(JOB)
+        assert again.from_cache
+        assert again.events == expected.events
+
+    def test_corrupt_count_in_format(self, tmp_path):
+        cache = self._plant(tmp_path, b"\x80garbage")
+        cache.get(JOB.fingerprint)
+        assert "corrupt" in cache.stats.format()
+
+
+class TestDeterminismExtended:
+    """Serial == parallel == cached beyond front-end metrics.
+
+    The engine contract says *everything derived from an outcome* is
+    reproducible; SMT and energy-model numbers exercise the jitter
+    hashing and uops accounting on top of the raw event streams.
+    """
+
+    JOBS = [
+        SimJob(
+            benchmark=benchmark,
+            n_branches=3_000,
+            warmup=1_000,
+            seed=1,
+            estimator=EstimatorSpec.of("perceptron", threshold=0),
+            policy=GATING_POLICY,
+        )
+        for benchmark in ("gzip", "twolf")
+    ]
+
+    @staticmethod
+    def _derived(outcomes):
+        from repro.pipeline.config import STANDARD_20X4
+        from repro.pipeline.energy import EnergyModel
+        from repro.pipeline.smt import SmtSimulator
+
+        config = STANDARD_20X4.with_gating(1)
+        events_a, events_b = (o.events for o in outcomes)
+        smt = SmtSimulator(config, gate_yields=True).simulate(
+            events_a, events_b
+        )
+        single = SmtSimulator(config, gate_yields=True).simulate(events_a)
+        stats = Engine.simulate(events_a, config)
+        energy = EnergyModel().evaluate(stats, estimator_active=True)
+        return {
+            "smt_cycles": smt.total_cycles,
+            "smt_correct": smt.combined_correct_uops,
+            "smt_wrong": smt.combined_wrong_path_uops,
+            "smt_gated": tuple(t.gated_cycles for t in smt.threads),
+            "single_cycles": single.total_cycles,
+            "sim": stats.as_dict(),
+            "energy": (energy.total, energy.energy_delay_product),
+        }
+
+    def test_smt_and_energy_serial_parallel_cached(self):
+        serial = self._derived(Engine().run(self.JOBS))
+        parallel_engine = Engine(max_workers=2)
+        parallel = self._derived(parallel_engine.run(self.JOBS))
+        assert parallel_engine.stats.parallel_executed == len(self.JOBS)
+        cached_outcomes = parallel_engine.run(self.JOBS)
+        assert all(o.from_cache for o in cached_outcomes)
+        cached = self._derived(cached_outcomes)
+        assert serial == parallel == cached
+
+    def test_smt_and_energy_disk_cache_roundtrip(self, tmp_path):
+        direct = self._derived(Engine(cache_dir=str(tmp_path)).run(self.JOBS))
+        revived_outcomes = Engine(cache_dir=str(tmp_path)).run(self.JOBS)
+        assert all(o.from_cache for o in revived_outcomes)
+        assert self._derived(revived_outcomes) == direct
+
+    def test_canonical_metrics_digest_stable(self):
+        fresh, = Engine().run([self.JOBS[0]])
+        cached, = Engine().run([self.JOBS[0]])
+        assert fresh.metrics_digest() == cached.metrics_digest()
+        metrics = fresh.canonical_metrics()
+        assert all(isinstance(v, int) for v in metrics.values())
+        assert metrics["branches"] == fresh.result.branches
