@@ -6,7 +6,12 @@ reports, and asserts the reproduced *shape*.  Absolute magnitudes at
 these sizes differ from the full EXPERIMENTS.md runs (shorter traces
 leave structures colder); shape assertions are therefore deliberately
 loose here and tight in tests/.
+
+``--backend fast`` reruns the whole harness on the vectorized backend
+(numpy required); results are bit-identical, only the timings move.
 """
+
+from dataclasses import replace
 
 import pytest
 
@@ -25,14 +30,29 @@ BENCH_ONE = ExperimentSettings(
 )
 
 
-@pytest.fixture(scope="session")
-def bench_settings():
-    return BENCH
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        action="store",
+        default="reference",
+        choices=("reference", "fast"),
+        help="engine backend for the experiment benches (see docs/fastpath.md)",
+    )
 
 
 @pytest.fixture(scope="session")
-def bench_one():
-    return BENCH_ONE
+def backend(request):
+    return request.config.getoption("--backend")
+
+
+@pytest.fixture(scope="session")
+def bench_settings(backend):
+    return replace(BENCH, backend=backend)
+
+
+@pytest.fixture(scope="session")
+def bench_one(backend):
+    return replace(BENCH_ONE, backend=backend)
 
 
 def run_once(benchmark, fn):

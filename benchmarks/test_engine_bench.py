@@ -3,7 +3,15 @@
 The experiment benches time whole tables/figures through the default
 engine; these isolate the engine itself, so a regression in the cache
 or the batch scheduler shows up without the experiment-level noise.
+
+The fast-backend cases double as the speedup regression guard: the
+vectorized replay must stay measurably faster than the reference loop
+*and* bit-identical to it (tier 2 CI fails on either regression).
 """
+
+import time
+
+import pytest
 
 from conftest import run_once
 
@@ -54,3 +62,54 @@ def test_engine_dedup_batch(benchmark):
     outcomes = run_once(benchmark, lambda: engine.run([job] * 8))
     assert engine.stats.executed == 1
     assert len(outcomes) == 8
+
+
+def test_engine_fast_cold_batch(benchmark):
+    """The same fresh batch through the vectorized fast backend."""
+    pytest.importorskip("numpy")
+    jobs = [job.with_(backend="fast") for job in _jobs()]
+    outcomes = run_once(benchmark, lambda: Engine().run(jobs))
+    assert len(outcomes) == len(THRESHOLDS)
+    assert all(o.backend == "fast" for o in outcomes)
+    assert all(o.events for o in outcomes)
+
+
+def test_fast_vs_reference_speedup():
+    """Speedup guard: the fast backend must beat the reference loop.
+
+    Both batches replay the same pre-generated trace, so the timings
+    compare the replay loops only.  The outcomes must be bit-identical
+    (same events, same canonical metrics, same digests); the speedup
+    floor is set well below the locally measured 5-15x so scheduler
+    noise on shared CI runners cannot flake it.
+    """
+    pytest.importorskip("numpy")
+    engine = Engine()
+    engine.trace("gzip", 14_000, 1)  # pre-warm: time replays, not tracegen
+    reference_jobs = _jobs()
+    fast_jobs = [job.with_(backend="fast") for job in reference_jobs]
+
+    start = time.perf_counter()
+    reference = engine.run(reference_jobs)
+    reference_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = engine.run(fast_jobs)
+    fast_seconds = time.perf_counter() - start
+
+    for ref, quick in zip(reference, fast):
+        assert ref.backend == "reference"
+        assert quick.backend == "fast"
+        assert ref.canonical_metrics() == quick.canonical_metrics()
+        assert ref.metrics_digest() == quick.metrics_digest()
+        assert ref.events == quick.events
+
+    ratio = reference_seconds / fast_seconds
+    print(
+        f"\nfast backend speedup: {ratio:.1f}x "
+        f"({reference_seconds:.2f}s reference vs {fast_seconds:.2f}s fast)"
+    )
+    assert ratio >= 3.0, (
+        f"fast backend is no longer measurably faster: {ratio:.2f}x "
+        f"({reference_seconds:.2f}s reference vs {fast_seconds:.2f}s fast)"
+    )

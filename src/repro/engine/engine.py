@@ -42,9 +42,24 @@ def _replay_trace(job: SimJob, trace) -> ReplayOutcome:
 
     Pure in the job description: no shared mutable state is read, which
     is what lets serial, parallel and cached execution agree bit for
-    bit.
+    bit.  Jobs requesting ``backend="fast"`` run the vectorized
+    :mod:`repro.fastpath` driver when the configuration is inside its
+    proven support matrix; anything else (including a missing numpy)
+    falls back to the reference loop below, which is the semantic
+    definition both backends must match.
     """
     from repro.core.frontend import FrontEnd, FrontEndResult
+
+    if job.backend == "fast":
+        from repro import fastpath
+
+        if fastpath.supports(job):
+            try:
+                events, result = fastpath.replay(job, trace)
+            except fastpath.FastPathUnsupported:
+                pass  # runtime rejection (e.g. oversized pcs): fall back
+            else:
+                return ReplayOutcome(events=events, result=result, backend="fast")
 
     frontend = FrontEnd(
         job.predictor.build(),

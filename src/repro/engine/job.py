@@ -23,12 +23,19 @@ from repro.engine.specs import (
     PredictorSpec,
 )
 
-__all__ = ["SimJob", "ReplayOutcome", "FINGERPRINT_SCHEMA"]
+__all__ = ["SimJob", "ReplayOutcome", "FINGERPRINT_SCHEMA", "BACKENDS"]
 
 #: Bump when the replay semantics or the canonical job encoding change;
 #: it salts every fingerprint, so stale on-disk cache entries from an
 #: older engine are never resurrected.
-FINGERPRINT_SCHEMA = 1
+#: Schema 2: the execution backend became part of the job identity.
+FINGERPRINT_SCHEMA = 2
+
+#: Execution backends a job may request.  ``"fast"`` runs the
+#: vectorized :mod:`repro.fastpath` driver when the configuration is
+#: supported (bit-identical by construction, enforced by the verify
+#: fastpath layer) and falls back to the reference loop otherwise.
+BACKENDS = ("reference", "fast")
 
 
 @dataclass(frozen=True)
@@ -47,6 +54,8 @@ class SimJob:
         policy: Speculation policy spec.
         collect_outputs: Record raw estimator outputs split by outcome
             (the density-figure inputs).
+        backend: Execution backend, ``"reference"`` (default) or
+            ``"fast"`` (vectorized replay via :mod:`repro.fastpath`).
     """
 
     benchmark: str
@@ -57,8 +66,13 @@ class SimJob:
     estimator: EstimatorSpec = ALWAYS_HIGH
     policy: PolicySpec = NO_POLICY
     collect_outputs: bool = False
+    backend: str = "reference"
 
     def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if self.n_branches <= 0:
             raise ValueError(f"n_branches must be positive, got {self.n_branches}")
         if not 0 <= self.warmup < self.n_branches:
@@ -96,6 +110,7 @@ class SimJob:
             self.estimator.canonical(),
             self.policy.canonical(),
             self.collect_outputs,
+            self.backend,
         )
         return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
 
@@ -115,6 +130,7 @@ class ReplayOutcome:
     events: List  # List[FrontEndEvent]
     result: object  # FrontEndResult
     from_cache: bool = False
+    backend: str = "reference"  # backend that actually executed
 
     def __iter__(self) -> Iterator:
         yield self.events

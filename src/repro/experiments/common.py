@@ -64,14 +64,23 @@ class ExperimentSettings:
             from metrics and timing (paper: one third of the trace).
         seed: Root seed; every trace and jitter stream derives from it.
         benchmarks: Benchmarks to include (default: all twelve).
+        backend: Engine backend for every job built from these settings
+            (``"reference"`` or ``"fast"``; see ``docs/fastpath.md``).
     """
 
     n_branches: int = 150_000
     warmup: int = 50_000
     seed: int = 1
     benchmarks: Tuple[str, ...] = BENCHMARK_NAMES
+    backend: str = "reference"
 
     def __post_init__(self):
+        from repro.engine.job import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if self.n_branches <= 0:
             raise ValueError(f"n_branches must be positive, got {self.n_branches}")
         if not 0 <= self.warmup < self.n_branches:
@@ -123,6 +132,7 @@ def job_for(
         estimator=estimator,
         policy=policy if policy is not None else NO_POLICY,
         collect_outputs=collect_outputs,
+        backend=settings.backend,
     )
 
 

@@ -166,7 +166,9 @@ def select_experiments(
 
 
 def resolve_settings(
-    quick: bool = False, branches: Optional[int] = None
+    quick: bool = False,
+    branches: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ExperimentSettings:
     """Apply sizing flags in their documented precedence order."""
     settings = DEFAULT_SETTINGS
@@ -176,6 +178,8 @@ def resolve_settings(
         settings = replace(
             settings, n_branches=branches, warmup=branches // 3
         )
+    if backend is not None:
+        settings = replace(settings, backend=backend)
     return settings
 
 
@@ -248,6 +252,16 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=("reference", "fast"),
+        default=None,
+        help=(
+            "engine backend for every replay: the pure-Python reference "
+            "loop (default) or the vectorized fast path (requires "
+            "numpy; bit-identical results, see docs/fastpath.md)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -284,7 +298,9 @@ def main(argv=None) -> int:
             )
             return status
     engine = configure_engine(max_workers=args.jobs, cache_dir=args.cache_dir)
-    settings = resolve_settings(quick=args.quick, branches=args.branches)
+    settings = resolve_settings(
+        quick=args.quick, branches=args.branches, backend=args.backend
+    )
 
     overall = engine.stats.snapshot()
     report = run_all(

@@ -1,0 +1,391 @@
+"""Chunked trace-replay driver for the fast backend.
+
+Decomposes one ``SimJob`` replay into three whole-trace passes instead
+of the reference's per-branch protocol loop:
+
+1. **Predictor pass** -- depends only on the trace, so it is cached per
+   ``(trace, predictor canonical)`` and shared across every estimator/
+   policy/threshold sweep over the same trace.
+2. **Estimator pass** -- consumes the prediction/correctness streams
+   (estimators train on the *raw* predictor outcome, never on the
+   policy's final prediction, so the pass is policy-independent).
+3. **Policy + materialization pass** -- vectorized policy application
+   and aggregation, then one scalar loop that materializes the
+   post-warmup :class:`~repro.core.frontend.FrontEndEvent` stream with
+   interned signal/decision objects.
+
+Every pass is bit-identical to the reference front end;
+``supports_job`` whitelists exactly the (kind, params) space for which
+that has been proven, and anything outside it falls back to the
+reference backend.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.fastpath.columnar import ColumnarTrace, get_columnar
+from repro.fastpath.estimators import ESTIMATOR_DEFAULTS, run_estimator
+from repro.fastpath.kernels import swar_supported
+from repro.fastpath.predictors import PREDICTOR_DEFAULTS, run_predictor
+
+__all__ = ["supports_job", "replay_trace", "replay_with_state"]
+
+
+# -------------------------------------------------------------------------
+# Support matrix
+# -------------------------------------------------------------------------
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_pow2(value) -> bool:
+    return _is_int(value) and value >= 2 and (value & (value - 1)) == 0
+
+
+def _merged(defaults: dict, spec) -> Tuple[dict, bool]:
+    params = spec.param_dict()
+    if not set(params) <= set(defaults):
+        return {}, False
+    merged = dict(defaults)
+    merged.update(params)
+    return merged, True
+
+
+def _supports_predictor(spec) -> bool:
+    if spec.kind == "baseline_hybrid":
+        p, ok = _merged(PREDICTOR_DEFAULTS[spec.kind], spec)
+        return ok and (
+            _is_int(p["bimodal_entries"])
+            and p["bimodal_entries"] > 0
+            and _is_pow2(p["gshare_entries"])
+            and _is_int(p["meta_entries"])
+            and p["meta_entries"] > 0
+            and _is_int(p["history_length"])
+            and 1 <= p["history_length"] <= 64
+        )
+    if spec.kind == "gshare_perceptron_hybrid":
+        p, ok = _merged(PREDICTOR_DEFAULTS[spec.kind], spec)
+        return ok and (
+            _is_pow2(p["gshare_entries"])
+            and _is_int(p["gshare_history"])
+            and 1 <= p["gshare_history"] <= 64
+            and _is_int(p["perceptron_entries"])
+            and p["perceptron_entries"] > 0
+            and _is_int(p["perceptron_history"])
+            and swar_supported(p["perceptron_history"], 8)
+            and _is_int(p["meta_entries"])
+            and p["meta_entries"] > 0
+        )
+    return False
+
+
+def _supports_estimator(spec) -> bool:
+    if spec.kind == "always_high":
+        return not spec.param_dict()
+    if spec.kind == "jrs":
+        p, ok = _merged(ESTIMATOR_DEFAULTS["jrs"], spec)
+        if not ok:
+            return False
+        if not (_is_pow2(p["entries"]) and _is_int(p["counter_bits"])):
+            return False
+        if not 1 <= p["counter_bits"] <= 16:
+            return False
+        if not (_is_int(p["threshold"]) and 0 < p["threshold"] <= (1 << p["counter_bits"]) - 1):
+            return False
+        if not isinstance(p["enhanced"], bool):
+            return False
+        # Enhanced indexing appends the prediction bit to the history
+        # word, which must still fit the uint64 fold input.
+        limit = 63 if p["enhanced"] else 64
+        return _is_int(p["history_length"]) and 1 <= p["history_length"] <= limit
+    if spec.kind == "perceptron":
+        p, ok = _merged(ESTIMATOR_DEFAULTS["perceptron"], spec)
+        if not ok:
+            return False
+        if p["mode"] not in ("cic", "tnt"):
+            return False
+        if not (_is_int(p["entries"]) and p["entries"] > 0):
+            return False
+        if not (_is_int(p["weight_bits"]) and _is_int(p["history_length"])):
+            return False
+        if not swar_supported(p["history_length"], p["weight_bits"]):
+            return False
+        if not (_is_number(p["threshold"]) and _is_number(p["training_threshold"])):
+            return False
+        if p["training_threshold"] < 0:
+            return False
+        strong = p["strong_threshold"]
+        if strong is not None and not _is_number(strong):
+            return False
+        # Combinations the reference constructor rejects fall back so
+        # the reference raises its own error.
+        if p["mode"] == "tnt" and (strong is not None or p["threshold"] < 0):
+            return False
+        if strong is not None and strong < p["threshold"]:
+            return False
+        return True
+    if spec.kind == "path_perceptron":
+        p, ok = _merged(ESTIMATOR_DEFAULTS["path_perceptron"], spec)
+        return ok and (
+            _is_int(p["table_entries"])
+            and p["table_entries"] > 0
+            and _is_int(p["history_length"])
+            and 1 <= p["history_length"] <= 64
+            and _is_int(p["weight_bits"])
+            and 2 <= p["weight_bits"] <= 16
+            and _is_number(p["training_threshold"])
+            and p["training_threshold"] >= 0
+            and _is_number(p["threshold"])
+        )
+    if spec.kind == "agreement":
+        params = spec.param_dict()
+        if not {"primary", "secondary"} <= set(params):
+            return False
+        if not set(params) <= {"primary", "secondary", "mode"}:
+            return False
+        if params.get("mode", "intersection") not in ("union", "intersection"):
+            return False
+        return _supports_estimator(params["primary"]) and _supports_estimator(
+            params["secondary"]
+        )
+    if spec.kind == "cascade":
+        params = spec.param_dict()
+        if not {"primary", "secondary"} <= set(params):
+            return False
+        if not set(params) <= {"primary", "secondary", "neutral_band", "primary_threshold"}:
+            return False
+        band = params.get("neutral_band", 30.0)
+        if not (_is_number(band) and band >= 0):
+            return False
+        if not _is_number(params.get("primary_threshold", 0.0)):
+            return False
+        return _supports_estimator(params["primary"]) and _supports_estimator(
+            params["secondary"]
+        )
+    return False
+
+
+def _supports_policy(spec) -> bool:
+    return spec.kind in ("none", "gating", "three_region") and not spec.param_dict()
+
+
+def supports_job(job) -> bool:
+    """True when every component of ``job`` has a proven fast pass."""
+    return (
+        _supports_predictor(job.predictor)
+        and _supports_estimator(job.estimator)
+        and _supports_policy(job.policy)
+    )
+
+
+# -------------------------------------------------------------------------
+# Replay
+# -------------------------------------------------------------------------
+
+#: Predictor passes cached per trace object: the pass depends only on
+#: (trace, predictor canonical), so estimator/policy sweeps reuse it.
+_PREDICTOR_PASS_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _predictor_pass(job, trace, col: ColumnarTrace):
+    per_trace = _PREDICTOR_PASS_CACHE.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _PREDICTOR_PASS_CACHE[trace] = per_trace
+    key = job.predictor.canonical()
+    ppass = per_trace.get(key)
+    if ppass is None:
+        ppass = run_predictor(job.predictor, col)
+        per_trace[key] = ppass
+    return ppass
+
+
+def _columnar(trace) -> ColumnarTrace:
+    from repro.fastpath import FastPathUnsupported
+
+    try:
+        return get_columnar(trace)
+    except ValueError as exc:
+        raise FastPathUnsupported(str(exc)) from None
+
+
+def _decide(job, col, ppass, epass):
+    """Apply the policy: per-branch decisions plus aggregate arrays."""
+    from repro.core.reversal import BranchAction, PolicyDecision
+
+    n = col.n
+    pred_arr = ppass.pred_arr
+    level_arr = np.asarray(epass.level, dtype=np.int8)
+    kind = job.policy.kind
+    if kind == "three_region":
+        reverse_arr = level_arr == 2
+        final_arr = np.where(reverse_arr, ~pred_arr, pred_arr)
+    else:
+        reverse_arr = np.zeros(n, dtype=bool)
+        final_arr = pred_arr
+
+    normal = {
+        True: PolicyDecision(BranchAction.NORMAL, True),
+        False: PolicyDecision(BranchAction.NORMAL, False),
+    }
+    gate = {
+        True: PolicyDecision(BranchAction.GATE, True),
+        False: PolicyDecision(BranchAction.GATE, False),
+    }
+    reverse = {
+        True: PolicyDecision(BranchAction.REVERSE, True),
+        False: PolicyDecision(BranchAction.REVERSE, False),
+    }
+    pred = ppass.pred
+    decisions: List[PolicyDecision] = [None] * n
+    if kind == "none":
+        for i in range(n):
+            decisions[i] = normal[pred[i]]
+    elif kind == "gating":
+        low = epass.low
+        for i in range(n):
+            decisions[i] = gate[pred[i]] if low[i] else normal[pred[i]]
+    else:  # three_region
+        level = epass.level
+        for i in range(n):
+            lv = level[i]
+            p = pred[i]
+            if lv == 2:
+                decisions[i] = reverse[not p]
+            elif lv == 1:
+                decisions[i] = gate[p]
+            else:
+                decisions[i] = normal[p]
+    return decisions, final_arr, reverse_arr
+
+
+def _signals(epass):
+    """Interned ConfidenceSignal per branch."""
+    from repro.core.types import ConfidenceSignal
+
+    ctors = {
+        0: ConfidenceSignal.high,
+        1: ConfidenceSignal.weak_low,
+        2: ConfidenceSignal.strong_low,
+    }
+    cache = {}
+    level = epass.level
+    raw = epass.raw
+    n = len(level)
+    signals = [None] * n
+    for i in range(n):
+        key = (level[i], raw[i])
+        sig = cache.get(key)
+        if sig is None:
+            sig = ctors[level[i]](raw[i])
+            cache[key] = sig
+        signals[i] = sig
+    return signals
+
+
+def _aggregate(job, col, ppass, epass, final_arr, reverse_arr):
+    """Vectorized equivalent of FrontEnd._aggregate over the tail."""
+    from repro.core.frontend import FrontEndResult
+
+    w = job.warmup
+    taken_tail = col.takens.astype(bool)[w:]
+    pred_correct = ppass.correct_arr[w:]
+    final_correct = final_arr[w:] == taken_tail
+    rev = reverse_arr[w:]
+    low = np.asarray(epass.low, dtype=bool)[w:]
+    mis = ~pred_correct
+
+    result = FrontEndResult()
+    result.branches = int(taken_tail.shape[0])
+    result.mispredictions = int(np.count_nonzero(mis))
+    result.final_mispredictions = int(np.count_nonzero(~final_correct))
+    result.reversals = int(np.count_nonzero(rev))
+    result.reversals_correcting = int(np.count_nonzero(rev & mis & final_correct))
+    result.reversals_breaking = int(np.count_nonzero(rev & pred_correct & ~final_correct))
+    overall = result.metrics.overall
+    overall.low_mispredicted = int(np.count_nonzero(low & mis))
+    overall.low_correct = int(np.count_nonzero(low & ~mis))
+    overall.high_mispredicted = int(np.count_nonzero(~low & mis))
+    overall.high_correct = int(np.count_nonzero(~low & ~mis))
+    if job.collect_outputs:
+        raw = epass.raw
+        correct = ppass.correct
+        n = col.n
+        result.outputs_correct = [raw[i] for i in range(w, n) if correct[i]]
+        result.outputs_mispredicted = [raw[i] for i in range(w, n) if not correct[i]]
+    return result
+
+
+def _materialize_events(job, col, ppass, signals, decisions):
+    from repro.core.frontend import FrontEndEvent
+
+    w = job.warmup
+    n = col.n
+    pcs = col.pc_list
+    takens = col.taken_list
+    preds = ppass.pred
+    uops = col.uops_list
+    events = []
+    append = events.append
+    new = object.__new__
+    cls = FrontEndEvent
+    for i in range(w, n):
+        o = new(cls)
+        d = o.__dict__
+        d["pc"] = pcs[i]
+        d["taken"] = takens[i]
+        d["prediction"] = preds[i]
+        decision = decisions[i]
+        d["final_prediction"] = decision.final_prediction
+        d["signal"] = signals[i]
+        d["decision"] = decision
+        d["uops_before"] = uops[i]
+        append(o)
+    return events
+
+
+def _run_passes(job, trace):
+    col = _columnar(trace)
+    ppass = _predictor_pass(job, trace, col)
+    epass = run_estimator(job.estimator, col, ppass.pred, ppass.correct)
+    return col, ppass, epass
+
+
+def replay_trace(job, trace):
+    """Fast whole-trace replay; returns ``(events, FrontEndResult)``.
+
+    Bit-identical to the reference ``engine._replay_trace``: the event
+    list covers post-warmup branches only and the result aggregates the
+    same tail.
+    """
+    col, ppass, epass = _run_passes(job, trace)
+    decisions, final_arr, reverse_arr = _decide(job, col, ppass, epass)
+    signals = _signals(epass)
+    result = _aggregate(job, col, ppass, epass, final_arr, reverse_arr)
+    events = _materialize_events(job, col, ppass, signals, decisions)
+    return events, result
+
+
+def replay_with_state(job, trace):
+    """Replay plus final component states (for the verify layer).
+
+    Returns ``(events, result, predictor_state, estimator_state)``
+    where the state tuples match the reference components'
+    ``state_canonical()`` after the same trace.
+    """
+    col, ppass, epass = _run_passes(job, trace)
+    decisions, final_arr, reverse_arr = _decide(job, col, ppass, epass)
+    signals = _signals(epass)
+    result = _aggregate(job, col, ppass, epass, final_arr, reverse_arr)
+    events = _materialize_events(job, col, ppass, signals, decisions)
+    return events, result, ppass.state, epass.state

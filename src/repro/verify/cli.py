@@ -66,13 +66,49 @@ def _run_invariant_layer(engine, profile, stream) -> List[str]:
     return failures
 
 
-def _run_golden_layer(engine, profile, refresh, reason, stream) -> List[str]:
+def _run_fastpath_layer(engine, profile, stream) -> List[str]:
+    from repro import fastpath
+
+    failures = []
     print(
-        f"== golden gate [{profile.name}]: {len(CASES)} cases x "
+        f"== fastpath: {len(CASES)} cases x "
+        f"{profile.differential_branches} branches ==",
+        file=stream,
+    )
+    if not fastpath.available():
+        print(
+            "ok   fastpath: skipped (numpy not installed; install the "
+            "repro[fast] extra to cross-check the fast backend)",
+            file=stream,
+        )
+        return failures
+    from repro.verify.fastpath import run_fastpath_differential
+
+    trace = engine.trace(
+        profile.benchmarks[0], profile.differential_branches, seed=1
+    )
+    for case in CASES:
+        report = run_fastpath_differential(
+            trace,
+            case.predictor,
+            case.estimator,
+            case.policy,
+            label=case.label,
+        )
+        print(report.format(), file=stream)
+        if not report.ok:
+            failures.append(f"fastpath: {report.format()}")
+    return failures
+
+
+def _run_golden_layer(engine, profile, refresh, reason, stream, backend) -> List[str]:
+    print(
+        f"== golden gate [{profile.name}, backend={backend}]: "
+        f"{len(CASES)} cases x "
         f"{len(profile.benchmarks)} benchmarks ==",
         file=stream,
     )
-    entries = compute_entries(profile, engine)
+    entries = compute_entries(profile, engine, backend=backend)
     if refresh:
         path = write_baseline(profile, entries, reason)
         print(f"refreshed {path} ({len(entries)} entries): {reason}", file=stream)
@@ -96,6 +132,8 @@ def run_verification(
     jobs: int = 1,
     markdown: Optional[str] = None,
     stream=None,
+    fastpath: bool = True,
+    backend: str = "reference",
 ) -> int:
     """Run the requested verification layers; returns an exit status.
 
@@ -128,9 +166,11 @@ def run_verification(
             yield "differential", _run_differential_layer(engine, profile, stream)
         if invariants:
             yield "invariants", _run_invariant_layer(engine, profile, stream)
+        if fastpath:
+            yield "fastpath", _run_fastpath_layer(engine, profile, stream)
         if golden:
             yield "golden", _run_golden_layer(
-                engine, profile, refresh, reason, stream
+                engine, profile, refresh, reason, stream, backend
             )
 
     try:
@@ -202,7 +242,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--skip-invariants", action="store_true", help="skip layer 2"
     )
+    parser.add_argument(
+        "--skip-fastpath",
+        action="store_true",
+        help="skip the fast-vs-reference backend cross-check layer",
+    )
     parser.add_argument("--skip-golden", action="store_true", help="skip layer 3")
+    parser.add_argument(
+        "--backend",
+        choices=("reference", "fast"),
+        default="reference",
+        help=(
+            "execution backend for the golden-gate runs; the baseline "
+            "identity stays pinned to the reference fingerprints, so "
+            "'fast' proves backend metric equality byte for byte"
+        ),
+    )
     parser.add_argument(
         "--jobs", type=int, default=1, help="engine worker processes"
     )
@@ -222,4 +277,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         mutate=args.mutate,
         jobs=args.jobs,
         markdown=args.markdown,
+        fastpath=not args.skip_fastpath,
+        backend=args.backend,
     )

@@ -106,10 +106,23 @@ def golden_path(profile_name: str) -> str:
     return os.path.join(_GOLDEN_DIR, f"{profile_name}.json")
 
 
-def compute_entries(profile: VerifyProfile, engine) -> List[GoldenEntry]:
-    """Run the matrix for ``profile`` and collect canonical entries."""
+def compute_entries(
+    profile: VerifyProfile, engine, backend: str = "reference"
+) -> List[GoldenEntry]:
+    """Run the matrix for ``profile`` and collect canonical entries.
+
+    ``backend`` selects the execution backend for the runs while entry
+    *identity* stays pinned to the reference job's fingerprint: both
+    backends are checked against the same baseline, so a
+    ``--backend fast`` pass proves the fast kernels reproduce the
+    golden metrics byte for byte.
+    """
     labelled = jobs_for_profile(profile)
-    outcomes = engine.run([job for _, job in labelled])
+    executed = [
+        job if backend == "reference" else job.with_(backend=backend)
+        for _, job in labelled
+    ]
+    outcomes = engine.run(executed)
     entries = []
     for (label, job), outcome in zip(labelled, outcomes):
         entries.append(

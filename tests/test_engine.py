@@ -101,6 +101,7 @@ class TestSimJob:
             JOB.with_(estimator=EstimatorSpec.of("perceptron", threshold=1)),
             JOB.with_(policy=GATING_POLICY),
             JOB.with_(collect_outputs=True),
+            JOB.with_(backend="fast"),
         ):
             assert changed.fingerprint != JOB.fingerprint
 
@@ -115,6 +116,11 @@ class TestSimJob:
             SimJob(benchmark="gzip", n_branches=0, warmup=0, seed=1)
         with pytest.raises(ValueError):
             SimJob(benchmark="gzip", n_branches=10, warmup=10, seed=1)
+        with pytest.raises(ValueError):
+            SimJob(
+                benchmark="gzip", n_branches=10, warmup=0, seed=1,
+                backend="turbo",
+            )
 
     def test_job_is_picklable_and_hashable(self):
         assert pickle.loads(pickle.dumps(JOB)) == JOB
