@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import telemetry
 from repro.engine.job import ReplayOutcome
 
 __all__ = ["CacheStats", "ReplayCache", "TraceCache"]
@@ -138,9 +139,12 @@ class ReplayCache:
         )
 
     def get(self, fingerprint: str) -> Optional[ReplayOutcome]:
+        tel = telemetry.get_registry()
         outcome = self._lru.get(fingerprint)
         if outcome is not None:
             self.stats.hits += 1
+            if tel.enabled:
+                tel.counter("cache_replay_hits_total", tier="memory").inc()
             return ReplayOutcome(outcome.events, outcome.result, from_cache=True)
         if self.disk_dir is not None:
             path = self._disk_path(fingerprint)
@@ -155,12 +159,23 @@ class ReplayCache:
                 except Exception as exc:
                     # Truncated/garbled/wrong-shape pickle: the entry is
                     # unusable.  Drop it (so put() can rewrite a good
-                    # one), log, and fall through to a recompute.
+                    # one), record the corruption, and fall through to a
+                    # recompute.  log_event keeps the stdlib warning on
+                    # this module's logger and mirrors a structured copy
+                    # into the trace stream, so corruption is countable
+                    # rather than grep-able only.
                     self.stats.corrupt += 1
-                    logger.warning(
-                        "replay cache: dropping corrupt entry %s (%s: %s); "
-                        "recomputing",
-                        path, type(exc).__name__, exc,
+                    if tel.enabled:
+                        tel.counter("cache_disk_corrupt_total").inc()
+                    telemetry.log_event(
+                        "cache.corrupt_entry",
+                        level=logging.WARNING,
+                        message=(
+                            "replay cache: dropping corrupt entry; recomputing"
+                        ),
+                        logger=logger,
+                        path=path,
+                        error=f"{type(exc).__name__}: {exc}",
                     )
                     try:
                         os.unlink(path)
@@ -169,16 +184,27 @@ class ReplayCache:
                 else:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
+                    if tel.enabled:
+                        tel.counter("cache_replay_hits_total", tier="disk").inc()
                     outcome = ReplayOutcome(events, result, from_cache=True)
                     self._lru.put(fingerprint, outcome, cost=max(1, len(events)))
-                    self.stats.evictions = self._lru.evictions
+                    self._note_evictions(tel)
                     return outcome
         self.stats.misses += 1
+        if tel.enabled:
+            tel.counter("cache_replay_misses_total").inc()
         return None
+
+    def _note_evictions(self, tel) -> None:
+        """Sync the evictions counter with the LRU's running total."""
+        new = self._lru.evictions - self.stats.evictions
+        self.stats.evictions = self._lru.evictions
+        if new and tel.enabled:
+            tel.counter("cache_replay_evictions_total").inc(new)
 
     def put(self, fingerprint: str, outcome: ReplayOutcome) -> None:
         self._lru.put(fingerprint, outcome, cost=max(1, len(outcome.events)))
-        self.stats.evictions = self._lru.evictions
+        self._note_evictions(telemetry.get_registry())
         if self.disk_dir is not None:
             path = self._disk_path(fingerprint)
             if not os.path.exists(path):
@@ -222,14 +248,19 @@ class TraceCache:
         self.stats = CacheStats()
 
     def get(self, name: str, n_branches: int, seed: int):
+        tel = telemetry.get_registry()
         key = (name, n_branches, seed)
         trace = self._lru.get(key)
         if trace is not None:
             self.stats.hits += 1
+            if tel.enabled:
+                tel.counter("cache_trace_hits_total").inc()
             return trace
         from repro.trace.benchmarks import generate_benchmark_trace
 
         self.stats.misses += 1
+        if tel.enabled:
+            tel.counter("cache_trace_misses_total").inc()
         trace = generate_benchmark_trace(name, n_branches=n_branches, seed=seed)
         self._lru.put(key, trace, cost=max(1, n_branches))
         self.stats.evictions = self._lru.evictions

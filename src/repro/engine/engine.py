@@ -16,9 +16,11 @@ once from the CLI (``--jobs``, ``--cache-dir``) via
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.engine.cache import (
     DEFAULT_EVENT_BUDGET,
     DEFAULT_TRACE_BUDGET,
@@ -50,6 +52,9 @@ def _replay_trace(job: SimJob, trace) -> ReplayOutcome:
     """
     from repro.core.frontend import FrontEnd, FrontEndResult
 
+    tel = telemetry.get_registry()
+    started = time.monotonic() if tel.enabled else 0.0
+
     if job.backend == "fast":
         from repro import fastpath
 
@@ -57,9 +62,23 @@ def _replay_trace(job: SimJob, trace) -> ReplayOutcome:
             try:
                 events, result = fastpath.replay(job, trace)
             except fastpath.FastPathUnsupported:
-                pass  # runtime rejection (e.g. oversized pcs): fall back
+                # runtime rejection (e.g. oversized pcs): fall back
+                if tel.enabled:
+                    tel.counter(
+                        "fastpath_fallbacks_total", reason="runtime"
+                    ).inc()
             else:
+                if tel.enabled:
+                    tel.counter("engine_replays_total", backend="fast").inc()
+                    tel.histogram(
+                        "engine_replay_seconds", backend="fast"
+                    ).observe(time.monotonic() - started)
                 return ReplayOutcome(events=events, result=result, backend="fast")
+        elif tel.enabled:
+            tel.counter(
+                "fastpath_fallbacks_total",
+                reason=fastpath.unsupported_reason(job) or "unknown",
+            ).inc()
 
     frontend = FrontEnd(
         job.predictor.build(),
@@ -75,6 +94,11 @@ def _replay_trace(job: SimJob, trace) -> ReplayOutcome:
             continue
         frontend.aggregate(result, event)
         events.append(event)
+    if tel.enabled:
+        tel.counter("engine_replays_total", backend="reference").inc()
+        tel.histogram("engine_replay_seconds", backend="reference").observe(
+            time.monotonic() - started
+        )
     return ReplayOutcome(events=events, result=result)
 
 
@@ -87,6 +111,25 @@ def execute_job(job: SimJob) -> ReplayOutcome:
     """
     engine = get_engine()
     return _replay_trace(job, engine.trace(*job.trace_key))
+
+
+def _execute_job_telemetry(job: SimJob):
+    """Worker entry when the parent collects telemetry.
+
+    Enables the worker-local registry, runs the job, and ships a
+    picklable snapshot (drained, so per-job deltas never double count)
+    back with the outcome for the parent to merge.
+
+    A fork-started worker inherits the parent's registry *contents* and
+    its open trace sink; both are shed before collecting, otherwise the
+    parent's pre-fork counters would be merged back a second time (and
+    worker spans would interleave into the parent's trace file).
+    """
+    telemetry.close_trace()
+    registry = telemetry.enable()
+    registry.reset()
+    outcome = execute_job(job)
+    return outcome, registry.drain()
 
 
 class EngineStats:
@@ -200,37 +243,60 @@ class Engine:
         if workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {workers}")
 
-        fingerprints = [job.fingerprint for job in jobs]
-        resolved: Dict[str, ReplayOutcome] = {}
-        pending: List[SimJob] = []
-        for job, fp in zip(jobs, fingerprints):
-            if fp in resolved:
-                continue
-            cached = self._replays.get(fp)
-            if cached is not None:
-                resolved[fp] = cached
-            else:
-                resolved[fp] = None  # placeholder keeps dedup order
-                pending.append(job)
+        tel = telemetry.get_registry()
+        with telemetry.trace_span("engine.run", jobs=len(jobs)):
+            fingerprints = [job.fingerprint for job in jobs]
+            resolved: Dict[str, ReplayOutcome] = {}
+            pending: List[SimJob] = []
+            for job, fp in zip(jobs, fingerprints):
+                if fp in resolved:
+                    continue
+                cached = self._replays.get(fp)
+                if cached is not None:
+                    resolved[fp] = cached
+                else:
+                    resolved[fp] = None  # placeholder keeps dedup order
+                    pending.append(job)
+            if tel.enabled:
+                tel.counter("engine_jobs_submitted_total").inc(len(jobs))
+                tel.counter("engine_jobs_deduplicated_total").inc(
+                    len(jobs) - len(resolved)
+                )
 
-        if pending:
-            n = min(workers, len(pending)) if len(pending) > 1 else 1
-            if n > 1:
-                with ProcessPoolExecutor(max_workers=n) as pool:
-                    outcomes = list(pool.map(execute_job, pending, chunksize=1))
-                self._parallel_executed += len(pending)
-            else:
-                outcomes = [
-                    _replay_trace(job, self.trace(*job.trace_key))
-                    for job in pending
-                ]
-            self._executed += len(pending)
-            for job, outcome in zip(pending, outcomes):
-                fp = job.fingerprint
-                resolved[fp] = outcome
-                self._replays.put(fp, outcome)
+            if pending:
+                n = min(workers, len(pending)) if len(pending) > 1 else 1
+                if n > 1:
+                    with ProcessPoolExecutor(max_workers=n) as pool:
+                        if tel.enabled:
+                            # Workers collect into their own registries;
+                            # each job ships a drained snapshot home.
+                            outcomes = []
+                            for outcome, snap in pool.map(
+                                _execute_job_telemetry, pending, chunksize=1
+                            ):
+                                tel.merge(snap)
+                                outcomes.append(outcome)
+                        else:
+                            outcomes = list(
+                                pool.map(execute_job, pending, chunksize=1)
+                            )
+                    self._parallel_executed += len(pending)
+                    if tel.enabled:
+                        tel.counter("engine_jobs_parallel_total").inc(
+                            len(pending)
+                        )
+                else:
+                    outcomes = [
+                        _replay_trace(job, self.trace(*job.trace_key))
+                        for job in pending
+                    ]
+                self._executed += len(pending)
+                for job, outcome in zip(pending, outcomes):
+                    fp = job.fingerprint
+                    resolved[fp] = outcome
+                    self._replays.put(fp, outcome)
 
-        return [resolved[fp] for fp in fingerprints]
+            return [resolved[fp] for fp in fingerprints]
 
     @staticmethod
     def simulate(events, config):

@@ -26,7 +26,9 @@ import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from repro import telemetry
 from repro.engine import EngineStats, configure_engine, get_engine
+from repro.telemetry import MetricsSnapshot
 from repro.experiments import (
     ablation_combined,
     ablation_history,
@@ -97,22 +99,41 @@ class ExperimentRecord:
 
     The cache/execution counters are deltas over this experiment only,
     so a record shows how much of its work was served by replays cached
-    from earlier experiments in the same run.
+    from earlier experiments in the same run.  ``telemetry`` holds the
+    registry delta for the experiment; the run-summary table is sourced
+    from it (cache hit/miss, executing backend), which -- unlike the
+    legacy ``EngineStats`` fields -- also folds in counters merged back
+    from ``--jobs`` worker processes.
     """
 
     name: str
     result: object
     seconds: float
     stats: EngineStats
+    telemetry: Optional[MetricsSnapshot] = None
 
     def as_dict(self) -> dict:
-        s = self.stats
+        t = self.telemetry if self.telemetry is not None else MetricsSnapshot()
+        reference = t.counter("engine_replays_total", backend="reference")
+        fast = t.counter("engine_replays_total", backend="fast")
+        if fast and reference:
+            backend = f"mixed ({reference} ref / {fast} fast)"
+        elif fast:
+            backend = "fast"
+        elif reference:
+            backend = "reference"
+        else:
+            backend = "-"  # fully served from cache
         return {
             "experiment": self.name,
             "seconds": round(self.seconds, 1),
-            "replays executed": s.executed,
-            "replay cache hits": s.replay.hits + s.replay.disk_hits,
-            "trace cache hits": s.traces.hits,
+            "replays executed": reference + fast,
+            "cache hits": (
+                t.counter("cache_replay_hits_total", tier="memory")
+                + t.counter("cache_replay_hits_total", tier="disk")
+            ),
+            "cache misses": t.counter("cache_replay_misses_total"),
+            "backend": backend,
         }
 
 
@@ -194,22 +215,34 @@ def run_all(
     selected = select_experiments(names, extensions=extensions)
     engine = get_engine()
     report = RunReport()
-    for name in selected:
-        before = engine.stats.snapshot()
-        start = time.time()
-        result = EXPERIMENTS[name](settings)
-        elapsed = time.time() - start
-        report.add(
-            ExperimentRecord(
-                name=name,
-                result=result,
-                seconds=elapsed,
-                stats=engine.stats.since(before),
+    # The run-summary columns are sourced from the telemetry registry,
+    # so it is always on for the duration of the run (observational
+    # only: results and fingerprints are unchanged).
+    tel = telemetry.get_registry()
+    was_enabled = tel.enabled
+    tel.enabled = True
+    try:
+        for name in selected:
+            before = engine.stats.snapshot()
+            tel_before = tel.snapshot()
+            start = time.time()
+            with telemetry.trace_span("experiment", experiment=name):
+                result = EXPERIMENTS[name](settings)
+            elapsed = time.time() - start
+            report.add(
+                ExperimentRecord(
+                    name=name,
+                    result=result,
+                    seconds=elapsed,
+                    stats=engine.stats.since(before),
+                    telemetry=tel.snapshot().since(tel_before),
+                )
             )
-        )
-        print(f"\n=== {name} ({elapsed:.0f}s) ===", file=out)
-        print(result.format(), file=out)
-        out.flush()
+            print(f"\n=== {name} ({elapsed:.0f}s) ===", file=out)
+            print(result.format(), file=out)
+            out.flush()
+    finally:
+        tel.enabled = was_enabled
     return report
 
 
@@ -282,6 +315,24 @@ def main(argv=None) -> int:
             "and abort if it fails; --quick selects the quick profile"
         ),
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run's telemetry metrics document to PATH (default "
+            "telemetry.json); observational only -- experiment numbers "
+            "are unchanged (see docs/observability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also write the span/log event stream as JSON lines to PATH",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -301,6 +352,10 @@ def main(argv=None) -> int:
     settings = resolve_settings(
         quick=args.quick, branches=args.branches, backend=args.backend
     )
+    if args.telemetry or args.trace_out:
+        telemetry.enable()
+        if args.trace_out:
+            telemetry.set_trace_path(args.trace_out)
 
     overall = engine.stats.snapshot()
     report = run_all(
@@ -327,6 +382,14 @@ def main(argv=None) -> int:
             records=report.records,
         )
         print("\nwrote Markdown report to " + args.markdown)
+    if args.telemetry:
+        print(
+            "\nwrote telemetry metrics to "
+            + telemetry.write_metrics(args.telemetry)
+        )
+    if args.trace_out:
+        telemetry.close_trace()
+        print("wrote telemetry trace to " + args.trace_out)
     return 0
 
 

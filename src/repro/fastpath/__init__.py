@@ -18,6 +18,7 @@ __all__ = [
     "available",
     "require",
     "supports",
+    "unsupported_reason",
     "replay",
     "replay_with_state",
 ]
@@ -58,6 +59,21 @@ def supports(job) -> bool:
     from repro.fastpath.driver import supports_job
 
     return supports_job(job)
+
+
+def unsupported_reason(job) -> "str | None":
+    """Why ``job`` cannot run fast, or ``None`` when it can.
+
+    Reasons are short stable tokens (``no-numpy``,
+    ``predictor:<kind>``, ``estimator:<kind>``, ``policy:<kind>``) used
+    as the ``reason`` label on the ``fastpath_fallbacks_total``
+    telemetry counter, so fallback reports stay diffable across runs.
+    """
+    if _numpy is None:
+        return "no-numpy"
+    from repro.fastpath.driver import unsupported_reason as _reason
+
+    return _reason(job)
 
 
 def replay(job, trace):

@@ -23,7 +23,7 @@ reference backend.
 from __future__ import annotations
 
 import weakref
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -31,8 +31,14 @@ from repro.fastpath.columnar import ColumnarTrace, get_columnar
 from repro.fastpath.estimators import ESTIMATOR_DEFAULTS, run_estimator
 from repro.fastpath.kernels import swar_supported
 from repro.fastpath.predictors import PREDICTOR_DEFAULTS, run_predictor
+from repro.telemetry import COUNT_BUCKETS, get_registry
 
-__all__ = ["supports_job", "replay_trace", "replay_with_state"]
+__all__ = [
+    "supports_job",
+    "unsupported_reason",
+    "replay_trace",
+    "replay_with_state",
+]
 
 
 # -------------------------------------------------------------------------
@@ -188,6 +194,21 @@ def supports_job(job) -> bool:
     )
 
 
+def unsupported_reason(job) -> Optional[str]:
+    """First component keeping ``job`` off the fast path, or ``None``.
+
+    Telemetry-facing counterpart of :func:`supports_job`: the token
+    becomes the ``reason`` label on ``fastpath_fallbacks_total``.
+    """
+    if not _supports_predictor(job.predictor):
+        return f"predictor:{job.predictor.kind}"
+    if not _supports_estimator(job.estimator):
+        return f"estimator:{job.estimator.kind}"
+    if not _supports_policy(job.policy):
+        return f"policy:{job.policy.kind}"
+    return None
+
+
 # -------------------------------------------------------------------------
 # Replay
 # -------------------------------------------------------------------------
@@ -198,6 +219,7 @@ _PREDICTOR_PASS_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def _predictor_pass(job, trace, col: ColumnarTrace):
+    tel = get_registry()
     per_trace = _PREDICTOR_PASS_CACHE.get(trace)
     if per_trace is None:
         per_trace = {}
@@ -205,8 +227,12 @@ def _predictor_pass(job, trace, col: ColumnarTrace):
     key = job.predictor.canonical()
     ppass = per_trace.get(key)
     if ppass is None:
+        if tel.enabled:
+            tel.counter("fastpath_predictor_pass_total", result="miss").inc()
         ppass = run_predictor(job.predictor, col)
         per_trace[key] = ppass
+    elif tel.enabled:
+        tel.counter("fastpath_predictor_pass_total", result="hit").inc()
     return ppass
 
 
@@ -356,6 +382,11 @@ def _materialize_events(job, col, ppass, signals, decisions):
 
 def _run_passes(job, trace):
     col = _columnar(trace)
+    tel = get_registry()
+    if tel.enabled:
+        tel.histogram(
+            "fastpath_batch_branches", buckets=COUNT_BUCKETS
+        ).observe(col.n)
     ppass = _predictor_pass(job, trace, col)
     epass = run_estimator(job.estimator, col, ppass.pred, ppass.correct)
     return col, ppass, epass

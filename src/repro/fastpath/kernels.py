@@ -36,6 +36,8 @@ from typing import List, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.telemetry import get_registry
+
 __all__ = [
     "history_bits",
     "final_history_bits",
@@ -346,6 +348,7 @@ def swar_cic_pass(
     dot_mask = 0  # lane h-1-j holds history bit j
     delta_mask = 0  # lane j holds history bit j
     off2 = offset * 2
+    slow_path = 0
     for i in range(n):
         r = rows[i]
         y = (
@@ -358,6 +361,7 @@ def swar_cic_pass(
         p = -1 if correct[i] else 1
         if (1 if y > threshold else -1) != p or -training_threshold <= y <= training_threshold:
             if bound[r] >= w_max:  # next step may hit a rail: exact path
+                slow_path += 1
                 packed[r], sums[r], bound[r] = _swar_slow_train(
                     packed[r], delta_mask, p, h, offset, w_min, w_max
                 )
@@ -378,7 +382,22 @@ def swar_cic_pass(
         else:
             dot_mask >>= 16
             delta_mask = (delta_mask << 16) & mask_all
+    _record_slow_path("cic", slow_path)
     return ys, _swar_decode_weights(packed, bias, h, offset)
+
+
+def _record_slow_path(kind: str, entries: int) -> None:
+    """Report how often a SWAR pass fell into the exact rail path.
+
+    Recorded once per whole-trace pass (never inside the per-branch
+    loop), so the cost is O(1) and zero when telemetry is disabled.
+    """
+    if entries:
+        tel = get_registry()
+        if tel.enabled:
+            tel.counter("fastpath_swar_slow_path_total", swar_pass=kind).inc(
+                entries
+            )
 
 
 def swar_direction_pass(
@@ -415,6 +434,7 @@ def swar_direction_pass(
     dot_mask = 0
     delta_mask = 0
     off2 = offset * 2
+    slow_path = 0
     for i in range(n):
         r = rows[i]
         y = (
@@ -428,6 +448,7 @@ def swar_direction_pass(
         if (y >= 0) != bool(t) or -theta <= y <= theta:
             p = 1 if t else -1
             if bound[r] >= w_max:
+                slow_path += 1
                 packed[r], sums[r], bound[r] = _swar_slow_train(
                     packed[r], delta_mask, p, h, offset, w_min, w_max
                 )
@@ -448,4 +469,5 @@ def swar_direction_pass(
         else:
             dot_mask >>= 16
             delta_mask = (delta_mask << 16) & mask_all
+    _record_slow_path("direction", slow_path)
     return ys, _swar_decode_weights(packed, bias, h, offset)

@@ -332,7 +332,35 @@ class PipelineSimulator:
         """
         self._reset()
         result = stats if stats is not None else SimStats()
+        from repro import telemetry
+
+        tel = telemetry.get_registry()
+        if tel.enabled:
+            # Callers may pass an accumulating SimStats: record this
+            # call's contribution, not the running totals.
+            base_wrong = result.wrong_path_uops
+            base_stalls = result.gating_stalls
+            base_correcting = result.reversals_correcting
+            base_breaking = result.reversals_breaking
         for event in events:
             self._process(event, result)
         result.total_cycles = self._retire_time
+        if tel.enabled:
+            buckets = telemetry.COUNT_BUCKETS
+            tel.counter("pipeline_simulations_total").inc()
+            tel.histogram(
+                "pipeline_wrong_path_uops", buckets=buckets
+            ).observe(result.wrong_path_uops - base_wrong)
+            tel.histogram(
+                "pipeline_gating_stalls", buckets=buckets
+            ).observe(result.gating_stalls - base_stalls)
+            tel.histogram(
+                "pipeline_reversal_recoveries", buckets=buckets
+            ).observe(result.reversals_correcting - base_correcting)
+            tel.counter(
+                "pipeline_reversals_total", kind="correcting"
+            ).inc(result.reversals_correcting - base_correcting)
+            tel.counter(
+                "pipeline_reversals_total", kind="breaking"
+            ).inc(result.reversals_breaking - base_breaking)
         return result

@@ -1,0 +1,125 @@
+"""``python -m repro.telemetry`` -- render and validate saved telemetry.
+
+Subcommands:
+
+- ``report PATH``: render a saved metrics document (written by
+  ``--telemetry=PATH`` on the experiments runner or ``python -m
+  repro.verify``) as Markdown (default), Prometheus text or JSON.
+- ``validate PATH``: check a metrics document -- and optionally a
+  ``--trace`` JSON-lines file -- against the documented schema; exit 1
+  listing every problem when invalid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.telemetry.export import (
+    render_json,
+    render_markdown,
+    render_prometheus,
+)
+from repro.telemetry.schema import (
+    validate_metrics_doc,
+    validate_trace_file,
+)
+
+__all__ = ["main"]
+
+_RENDERERS = {
+    "markdown": render_markdown,
+    "prometheus": render_prometheus,
+    "json": render_json,
+}
+
+
+def _load(path: str, stream) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        print(f"error: no such metrics file: {path}", file=stream)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=stream)
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Render and validate saved telemetry documents.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="render a saved metrics file")
+    report.add_argument("path", help="metrics JSON written by --telemetry")
+    report.add_argument(
+        "--format",
+        choices=sorted(_RENDERERS),
+        default="markdown",
+        help="output format (default: markdown)",
+    )
+    report.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+
+    validate = sub.add_parser(
+        "validate", help="check telemetry files against the schema"
+    )
+    validate.add_argument("path", help="metrics JSON written by --telemetry")
+    validate.add_argument(
+        "--trace",
+        default=None,
+        help="also validate a JSON-lines trace file (--trace-out output)",
+    )
+
+    args = parser.parse_args(argv)
+    stream = sys.stdout
+
+    doc = _load(args.path, stream)
+    if doc is None:
+        return 2
+
+    if args.command == "validate":
+        problems = validate_metrics_doc(doc)
+        if args.trace is not None:
+            try:
+                problems += [
+                    f"trace: {p}" for p in validate_trace_file(args.trace)
+                ]
+            except OSError as exc:
+                problems.append(f"trace: cannot read {args.trace}: {exc}")
+        if problems:
+            print(f"INVALID: {len(problems)} problem(s)", file=stream)
+            for problem in problems:
+                print(f"  - {problem}", file=stream)
+            return 1
+        counters = len(doc.get("counters", {}))
+        histograms = len(doc.get("histograms", {}))
+        print(
+            f"ok: schema-valid metrics document "
+            f"({counters} counters, {histograms} histograms)",
+            file=stream,
+        )
+        return 0
+
+    problems = validate_metrics_doc(doc)
+    if problems:
+        print(
+            f"warning: rendering a non-schema-valid document "
+            f"({len(problems)} problem(s); run the validate subcommand)",
+            file=sys.stderr,
+        )
+    rendered = _RENDERERS[args.format](doc)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+            if not rendered.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {args.out}", file=stream)
+    else:
+        print(rendered, file=stream)
+    return 0

@@ -1,0 +1,209 @@
+"""Exporters for collected telemetry: JSON, Prometheus text, Markdown.
+
+All three render the same :class:`~repro.telemetry.registry.MetricsSnapshot`
+(or a saved metrics document, which is the JSON form of one), so a
+metrics file written by ``--telemetry`` can be re-rendered later with
+``python -m repro.telemetry report``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.telemetry.registry import (
+    MetricsSnapshot,
+    get_registry,
+    parse_key,
+)
+from repro.telemetry.schema import METRICS_KIND, METRICS_SCHEMA
+
+__all__ = [
+    "metrics_doc",
+    "snapshot_from_doc",
+    "write_metrics",
+    "render_json",
+    "render_prometheus",
+    "render_markdown",
+]
+
+
+def metrics_doc(snapshot: Optional[MetricsSnapshot] = None) -> dict:
+    """The schema-versioned metrics document for a snapshot.
+
+    With no argument, snapshots the process-wide registry.
+    """
+    snap = snapshot if snapshot is not None else get_registry().snapshot()
+    return {
+        "schema": METRICS_SCHEMA,
+        "kind": METRICS_KIND,
+        "counters": dict(sorted(snap.counters.items())),
+        "gauges": dict(sorted(snap.gauges.items())),
+        "histograms": dict(sorted(snap.histograms.items())),
+    }
+
+
+def snapshot_from_doc(doc: dict) -> MetricsSnapshot:
+    """Rehydrate a saved metrics document into a snapshot."""
+    return MetricsSnapshot(
+        counters=doc.get("counters", {}),
+        gauges=doc.get("gauges", {}),
+        histograms=doc.get("histograms", {}),
+    )
+
+
+def write_metrics(path: str, snapshot: Optional[MetricsSnapshot] = None) -> str:
+    """Write the metrics document as JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_doc(snapshot), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def render_json(doc: dict) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _prom_key(key: str) -> str:
+    """``name{a=b}`` -> ``name{a="b"}`` (Prometheus label quoting)."""
+    name, labels = parse_key(key)
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def _prom_labels_with(key: str, extra_key: str, extra_value: str) -> str:
+    name, labels = parse_key(key)
+    pairs = sorted(labels.items()) + [(extra_key, extra_value)]
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return f"{name}{{{inner}}}"
+
+
+def render_prometheus(doc: dict) -> str:
+    """Prometheus text exposition of a metrics document."""
+    lines: List[str] = []
+    typed = set()
+
+    def _type_line(key: str, kind: str):
+        name, _ = parse_key(key)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in sorted(doc.get("counters", {}).items()):
+        _type_line(key, "counter")
+        lines.append(f"{_prom_key(key)} {value}")
+    for key, value in sorted(doc.get("gauges", {}).items()):
+        _type_line(key, "gauge")
+        lines.append(f"{_prom_key(key)} {value}")
+    for key, hist in sorted(doc.get("histograms", {}).items()):
+        _type_line(key, "histogram")
+        name, _ = parse_key(key)
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f"{_prom_labels_with(key, 'le', repr(float(bound)))} {cumulative}"
+            )
+        cumulative += hist["counts"][-1]
+        lines.append(f"{_prom_labels_with(key, 'le', '+Inf')} {cumulative}")
+        base, labels = parse_key(key)
+        suffix = (
+            "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        lines.append(f"{base}_sum{suffix} {hist['sum']}")
+        lines.append(f"{base}_count{suffix} {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _grouped(entries: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    """Group ``name{labels}`` keys by base metric name."""
+    groups: Dict[str, Dict[str, object]] = defaultdict(dict)
+    for key, value in sorted(entries.items()):
+        name, labels = parse_key(key)
+        label_text = (
+            ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+        )
+        groups[name][label_text] = value
+    return groups
+
+
+def render_markdown(doc: dict) -> str:
+    """Human-readable Markdown report of a metrics document."""
+    from repro.analysis.report import markdown_table
+
+    lines: List[str] = ["# Telemetry report", ""]
+
+    counters = doc.get("counters", {})
+    if counters:
+        lines += ["## Counters", ""]
+        rows = []
+        for name, series in _grouped(counters).items():
+            for label_text, value in series.items():
+                rows.append({"metric": name, "labels": label_text, "value": value})
+        lines += [markdown_table(rows, columns=["metric", "labels", "value"]), ""]
+
+    fallbacks = {
+        key: value
+        for key, value in counters.items()
+        if parse_key(key)[0] == "fastpath_fallbacks_total"
+    }
+    if fallbacks:
+        lines += [
+            "## Fast-path fallbacks by reason",
+            "",
+            markdown_table(
+                [
+                    {
+                        "reason": parse_key(key)[1].get("reason", "?"),
+                        "count": value,
+                    }
+                    for key, value in sorted(fallbacks.items())
+                ],
+                columns=["reason", "count"],
+            ),
+            "",
+        ]
+
+    gauges = doc.get("gauges", {})
+    if gauges:
+        lines += ["## Gauges", ""]
+        rows = []
+        for name, series in _grouped(gauges).items():
+            for label_text, value in series.items():
+                rows.append({"metric": name, "labels": label_text, "value": value})
+        lines += [markdown_table(rows, columns=["metric", "labels", "value"]), ""]
+
+    histograms = doc.get("histograms", {})
+    if histograms:
+        lines += ["## Histograms", ""]
+        rows = []
+        for key, hist in sorted(histograms.items()):
+            name, labels = parse_key(key)
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            rows.append(
+                {
+                    "metric": name,
+                    "labels": ", ".join(
+                        f"{k}={v}" for k, v in sorted(labels.items())
+                    )
+                    or "-",
+                    "count": hist["count"],
+                    "sum": round(hist["sum"], 4),
+                    "mean": round(mean, 4),
+                }
+            )
+        lines += [
+            markdown_table(
+                rows, columns=["metric", "labels", "count", "sum", "mean"]
+            ),
+            "",
+        ]
+
+    if len(lines) == 2:
+        lines += ["*(no metrics collected)*", ""]
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Span-based tracing: structured JSON-lines events with nesting.
+
+``with trace_span("replay", job=fp):`` measures a monotonic duration,
+assigns the span an id, links it to the enclosing span (a thread-local
+stack provides parent/child nesting) and, when a trace sink is
+configured via :func:`set_trace_path`, appends one JSON object per
+completed span to the file.  Every span additionally feeds a
+``span_seconds{span=<name>}`` histogram in the metrics registry, so
+per-phase timings survive even without a trace file.
+
+:func:`log_event` emits point-in-time structured events into the same
+stream (and mirrors them to stdlib ``logging``), which is how ad-hoc
+warnings like cache corruption become countable, diffable records.
+
+The event schema is documented and validated in
+:mod:`repro.telemetry.schema`; see ``docs/observability.md``.
+
+Tracing follows the same cost contract as the registry: with no sink
+configured and metrics disabled, ``trace_span`` returns a shared no-op
+context manager after one flag check.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from typing import Optional
+
+from repro.telemetry.registry import SECONDS_BUCKETS, get_registry
+
+__all__ = [
+    "trace_span",
+    "log_event",
+    "set_trace_path",
+    "trace_path",
+    "close_trace",
+]
+
+_DEFAULT_LOGGER = logging.getLogger("repro.telemetry")
+
+_state = threading.local()
+_lock = threading.Lock()
+_sink = None  # open file handle for the JSONL trace, or None
+_sink_path: Optional[str] = None
+_next_id = 0
+
+
+def _span_stack():
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    return stack
+
+
+def _alloc_id() -> int:
+    global _next_id
+    with _lock:
+        _next_id += 1
+        return _next_id
+
+
+def _emit(obj: dict) -> None:
+    sink = _sink
+    if sink is None:
+        return
+    line = json.dumps(obj, sort_keys=True, default=str)
+    with _lock:
+        sink.write(line + "\n")
+        sink.flush()
+
+
+def set_trace_path(path: Optional[str]) -> None:
+    """Open (or close, with ``None``) the JSON-lines trace sink.
+
+    The file is truncated and seeded with a ``meta`` event recording the
+    event-schema version, so consumers can validate before parsing.
+    """
+    global _sink, _sink_path
+    close_trace()
+    if path is None:
+        return
+    from repro.telemetry.schema import EVENT_SCHEMA
+
+    _sink = open(path, "w", encoding="utf-8")
+    _sink_path = path
+    _emit({"event": "meta", "schema": EVENT_SCHEMA})
+
+
+def trace_path() -> Optional[str]:
+    """The configured trace sink path, if any."""
+    return _sink_path
+
+
+def close_trace() -> None:
+    """Flush and close the trace sink (no-op when none is open)."""
+    global _sink, _sink_path
+    if _sink is not None:
+        with _lock:
+            _sink.close()
+        _sink = None
+        _sink_path = None
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("name", "fields", "span_id", "parent_id", "_start")
+
+    def __init__(self, name: str, fields: dict):
+        self.name = name
+        self.fields = fields
+        self.span_id = _alloc_id()
+        stack = _span_stack()
+        self.parent_id = stack[-1] if stack else None
+        self._start = 0.0
+
+    def __enter__(self):
+        _span_stack().append(self.span_id)
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        duration = time.monotonic() - self._start
+        stack = _span_stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "span_seconds", buckets=SECONDS_BUCKETS, span=self.name
+            ).observe(duration)
+        event = {
+            "event": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_s": duration,
+            "ok": exc_type is None,
+        }
+        if self.fields:
+            event["fields"] = self.fields
+        _emit(event)
+        return False
+
+
+def trace_span(name: str, **fields) -> object:
+    """Context manager timing one phase; nests via a thread-local stack.
+
+    Cheap when telemetry is fully off: one flag check, then a shared
+    no-op context.  With metrics on it always feeds ``span_seconds``;
+    with a trace sink it also appends a ``span`` event line.
+    """
+    if _sink is None and not get_registry().enabled:
+        return _NOOP_SPAN
+    return _Span(name, fields)
+
+
+def log_event(
+    name: str,
+    level: int = logging.WARNING,
+    message: str = "",
+    logger: Optional[logging.Logger] = None,
+    **fields,
+) -> None:
+    """Emit one structured point event (plus a stdlib log record).
+
+    The stdlib mirror always fires -- through ``logger`` when given, so
+    existing per-module log capture keeps working -- and the structured
+    copy lands in the trace stream when a sink is configured, making
+    the event countable and machine-diffable rather than grep-able only.
+    """
+    (logger if logger is not None else _DEFAULT_LOGGER).log(
+        level, "%s: %s %s", name, message, fields if fields else ""
+    )
+    if _sink is not None:
+        stack = _span_stack()
+        _emit(
+            {
+                "event": "log",
+                "name": name,
+                "level": logging.getLevelName(level),
+                "message": message,
+                "parent_id": stack[-1] if stack else None,
+                "fields": fields,
+            }
+        )

@@ -438,9 +438,23 @@ def generate_benchmark_trace(
 ) -> Trace:
     """Generate a synthetic trace for one Table 2 benchmark.
 
-    The trace is deterministic in (name, n_branches, seed).
+    The trace is deterministic in (name, n_branches, seed); telemetry
+    (the ``tracegen`` span, ``trace_generated_total``) is observational
+    and never feeds back into generation.
     """
-    profile = benchmark_profile(name)
-    spec = build_workload(profile, seed=seed)
-    generator = TraceGenerator(spec, seed=derive_seed(seed, "trace", name))
-    return generator.generate(n_branches)
+    from repro import telemetry
+
+    with telemetry.trace_span(
+        "tracegen", benchmark=name, n_branches=n_branches, seed=seed
+    ):
+        profile = benchmark_profile(name)
+        spec = build_workload(profile, seed=seed)
+        generator = TraceGenerator(spec, seed=derive_seed(seed, "trace", name))
+        trace = generator.generate(n_branches)
+    tel = telemetry.get_registry()
+    if tel.enabled:
+        tel.counter("trace_generated_total", benchmark=name).inc()
+        tel.histogram(
+            "trace_generated_branches", buckets=telemetry.COUNT_BUCKETS
+        ).observe(n_branches)
+    return trace

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from repro import telemetry
 from repro.engine.engine import Engine
 from repro.verify.differential import run_differential
 from repro.verify.golden import (
@@ -134,11 +136,16 @@ def run_verification(
     stream=None,
     fastpath: bool = True,
     backend: str = "reference",
+    telemetry_path: Optional[str] = None,
+    trace_out: Optional[str] = None,
 ) -> int:
     """Run the requested verification layers; returns an exit status.
 
     All requested layers run to completion even after a failure, so one
-    invocation reports every problem at once.
+    invocation reports every problem at once.  ``telemetry_path`` /
+    ``trace_out`` enable the telemetry layer (observational only: the
+    layers' verdicts, including golden digests, are identical with it
+    on or off) and write the metrics document / span stream there.
     """
     stream = stream if stream is not None else sys.stdout
     profile = PROFILES[profile_name]
@@ -149,6 +156,10 @@ def run_verification(
         # Mutations monkey-patch in process; worker processes would
         # re-import pristine modules and silently undo them.
         jobs = 1
+    if telemetry_path or trace_out:
+        telemetry.enable()
+        if trace_out:
+            telemetry.set_trace_path(trace_out)
     engine = Engine(max_workers=jobs)
 
     failures: List[str] = []
@@ -163,26 +174,49 @@ def run_verification(
 
     def _layers():
         if differential:
-            yield "differential", _run_differential_layer(engine, profile, stream)
+            yield "differential", lambda: _run_differential_layer(
+                engine, profile, stream
+            )
         if invariants:
-            yield "invariants", _run_invariant_layer(engine, profile, stream)
+            yield "invariants", lambda: _run_invariant_layer(
+                engine, profile, stream
+            )
         if fastpath:
-            yield "fastpath", _run_fastpath_layer(engine, profile, stream)
+            yield "fastpath", lambda: _run_fastpath_layer(
+                engine, profile, stream
+            )
         if golden:
-            yield "golden", _run_golden_layer(
+            yield "golden", lambda: _run_golden_layer(
                 engine, profile, refresh, reason, stream, backend
+            )
+
+    tel = telemetry.get_registry()
+
+    def _run_layers():
+        for name, run_layer in _layers():
+            started = time.monotonic()
+            with telemetry.trace_span("verify." + name, profile=profile.name):
+                layer_failures = run_layer()
+            if tel.enabled:
+                tel.counter(
+                    "verify_layer_total",
+                    layer=name,
+                    status="fail" if layer_failures else "pass",
+                ).inc()
+                tel.histogram("verify_layer_seconds", layer=name).observe(
+                    time.monotonic() - started
+                )
+            failures.extend(layer_failures)
+            layers.append(
+                (name, not layer_failures, f"{len(layer_failures)} failure(s)")
             )
 
     try:
         if mutate is not None:
             with apply_mutation(mutate):
-                for name, layer_failures in _layers():
-                    failures.extend(layer_failures)
-                    layers.append((name, not layer_failures, f"{len(layer_failures)} failure(s)"))
+                _run_layers()
         else:
-            for name, layer_failures in _layers():
-                failures.extend(layer_failures)
-                layers.append((name, not layer_failures, f"{len(layer_failures)} failure(s)"))
+            _run_layers()
     except VerifyError as exc:
         failures.append(str(exc))
         print(f"FAIL {exc}", file=stream)
@@ -200,6 +234,16 @@ def run_verification(
             )
             fh.write("\n")
         print(f"wrote {markdown}", file=stream)
+
+    if telemetry_path:
+        print(
+            f"wrote telemetry metrics to "
+            f"{telemetry.write_metrics(telemetry_path)}",
+            file=stream,
+        )
+    if trace_out:
+        telemetry.close_trace()
+        print(f"wrote telemetry trace to {trace_out}", file=stream)
 
     if failures:
         print(f"\nverification FAILED ({len(failures)} problem(s)):", file=stream)
@@ -264,6 +308,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--markdown", default=None, help="also write a markdown report here"
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect telemetry and write the metrics document to PATH "
+            "(default telemetry.json); observational only -- verdicts "
+            "and golden digests are unchanged (see docs/observability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also write the span/log event stream as JSON lines to PATH",
+    )
     args = parser.parse_args(argv)
     if args.refresh and not args.reason:
         parser.error("--refresh requires --reason '<why>'")
@@ -279,4 +341,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         markdown=args.markdown,
         fastpath=not args.skip_fastpath,
         backend=args.backend,
+        telemetry_path=args.telemetry,
+        trace_out=args.trace_out,
     )
