@@ -48,7 +48,7 @@ def test_perceptron_estimator_throughput(benchmark, trace):
         frontend = FrontEnd(
             make_baseline_hybrid(), PerceptronConfidenceEstimator()
         )
-        return frontend.run(trace)
+        return frontend.replay(trace)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.branches == len(trace)

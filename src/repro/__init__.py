@@ -19,7 +19,7 @@ Quickstart::
     trace = generate_benchmark_trace("gcc", n_branches=50_000, seed=1)
     predictor = make_baseline_hybrid()
     estimator = PerceptronConfidenceEstimator(threshold=0)
-    result = FrontEnd(predictor, estimator).run(trace, warmup=10_000)
+    result = FrontEnd(predictor, estimator).replay(trace, warmup=10_000)
     m = result.metrics.overall
     print(f"PVN={m.pvn:.0%}  Spec={m.spec:.0%}")
 

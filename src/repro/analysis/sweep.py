@@ -56,7 +56,7 @@ def sweep_estimator_thresholds(
         predictor = make_predictor()
         estimator = make_estimator(threshold)
         frontend = FrontEnd(predictor, estimator)
-        result = frontend.run(trace, warmup=warmup)
+        result = frontend.replay(trace, warmup=warmup)
         matrix = result.metrics.overall
         points.append(
             ThresholdPoint(

@@ -11,6 +11,7 @@ density analysis and the pipeline simulator.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
@@ -26,7 +27,13 @@ from repro.core.types import ConfidenceSignal
 from repro.predictors.base import BranchPredictor
 from repro.trace.record import BranchRecord, Trace
 
-__all__ = ["FrontEndEvent", "FrontEndResult", "FrontEnd", "apply_policy"]
+__all__ = [
+    "FrontEndEvent",
+    "FrontEndResult",
+    "FrontEnd",
+    "aggregate_event",
+    "apply_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +102,66 @@ class FrontEndResult:
         """Mispredictions removed by reversal (negative = made worse)."""
         return self.reversals_correcting - self.reversals_breaking
 
+    def merge(self, other: "FrontEndResult") -> "FrontEndResult":
+        """Return a new result combining ``self`` then ``other``.
+
+        Every counter is an integer sum (associative and commutative);
+        the raw-output lists concatenate in operand order, so merging
+        per-segment results in segment order reproduces the monolithic
+        result exactly, including event-ordered output densities.
+        """
+        merged = FrontEndResult(
+            branches=self.branches + other.branches,
+            mispredictions=self.mispredictions + other.mispredictions,
+            final_mispredictions=(
+                self.final_mispredictions + other.final_mispredictions
+            ),
+            reversals=self.reversals + other.reversals,
+            reversals_correcting=(
+                self.reversals_correcting + other.reversals_correcting
+            ),
+            reversals_breaking=(
+                self.reversals_breaking + other.reversals_breaking
+            ),
+            metrics=self.metrics.merge(other.metrics),
+        )
+        merged.outputs_correct = self.outputs_correct + other.outputs_correct
+        merged.outputs_mispredicted = (
+            self.outputs_mispredicted + other.outputs_mispredicted
+        )
+        return merged
+
+
+def aggregate_event(
+    res: FrontEndResult, event: FrontEndEvent, collect_outputs: bool = False
+) -> None:
+    """Fold one event into a result.
+
+    A pure function of ``(event, collect_outputs)``: it reads no
+    front-end state, which is what lets segmented replay defer
+    aggregation to merge time (segments cache raw events; any warmup or
+    output-collection setting can be applied when folding).
+    """
+    res.branches += 1
+    if not event.predictor_correct:
+        res.mispredictions += 1
+    if not event.final_correct:
+        res.final_mispredictions += 1
+    if event.decision.action is BranchAction.REVERSE:
+        res.reversals += 1
+        if not event.predictor_correct and event.final_correct:
+            res.reversals_correcting += 1
+        elif event.predictor_correct and not event.final_correct:
+            res.reversals_breaking += 1
+    res.metrics.record(
+        event.pc, event.signal.low_confidence, not event.predictor_correct
+    )
+    if collect_outputs:
+        if event.predictor_correct:
+            res.outputs_correct.append(event.signal.raw)
+        else:
+            res.outputs_mispredicted.append(event.signal.raw)
+
 
 class FrontEnd:
     """Replays traces through predictor + estimator + policy.
@@ -155,16 +222,21 @@ class FrontEnd:
             uops_before=record.uops_before,
         )
 
-    def run(
+    def replay(
         self,
-        trace: Trace,
+        records: Iterable[BranchRecord],
         warmup: int = 0,
         result: Optional[FrontEndResult] = None,
     ) -> FrontEndResult:
-        """Replay a whole trace, aggregating metrics.
+        """Replay a record stream, aggregating metrics.
+
+        Accepts any iterable of records -- a materialized
+        :class:`~repro.trace.record.Trace`, one segment of one, or a
+        lazy generator stream -- and holds no per-record state beyond
+        the accumulators, so memory stays bounded by the source.
 
         Args:
-            trace: Input branch trace.
+            records: Input branch records, in program order.
             warmup: Leading branches that train all structures but are
                 excluded from the metrics (the paper warms 10M of each
                 30M-instruction trace).
@@ -173,12 +245,33 @@ class FrontEnd:
         if warmup < 0:
             raise ValueError(f"warmup must be non-negative, got {warmup}")
         res = result if result is not None else FrontEndResult()
-        for i, record in enumerate(trace):
+        for i, record in enumerate(records):
             event = self.process(record)
             if i < warmup:
                 continue
             self._aggregate(res, event)
         return res
+
+    def run(
+        self,
+        trace: Trace,
+        warmup: int = 0,
+        result: Optional[FrontEndResult] = None,
+    ) -> FrontEndResult:
+        """Deprecated whole-trace alias of :meth:`replay`.
+
+        Kept for one release so existing callers keep working; new code
+        should use :meth:`replay` (record streams) or the segmented
+        engine entry points (:meth:`repro.engine.Engine.replay` /
+        :meth:`repro.engine.Engine.stream`).
+        """
+        warnings.warn(
+            "FrontEnd.run() is deprecated; use FrontEnd.replay() or the "
+            "engine's replay/stream entry points",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.replay(trace, warmup=warmup, result=result)
 
     def events(self, trace: Trace) -> Iterable[FrontEndEvent]:
         """Yield per-branch events (the pipeline simulator's input)."""
@@ -190,25 +283,7 @@ class FrontEnd:
         self._aggregate(res, event)
 
     def _aggregate(self, res: FrontEndResult, event: FrontEndEvent) -> None:
-        res.branches += 1
-        if not event.predictor_correct:
-            res.mispredictions += 1
-        if not event.final_correct:
-            res.final_mispredictions += 1
-        if event.decision.action is BranchAction.REVERSE:
-            res.reversals += 1
-            if not event.predictor_correct and event.final_correct:
-                res.reversals_correcting += 1
-            elif event.predictor_correct and not event.final_correct:
-                res.reversals_breaking += 1
-        res.metrics.record(
-            event.pc, event.signal.low_confidence, not event.predictor_correct
-        )
-        if self.collect_outputs:
-            if event.predictor_correct:
-                res.outputs_correct.append(event.signal.raw)
-            else:
-                res.outputs_mispredicted.append(event.signal.raw)
+        aggregate_event(res, event, self.collect_outputs)
 
 
 def apply_policy(events, policy: SpeculationPolicy):

@@ -8,7 +8,7 @@ pickles) and executes the remainder serially or across a process pool.
 See ``docs/engine.md`` for the full design.
 """
 
-from repro.engine.cache import CacheStats, ReplayCache, TraceCache
+from repro.engine.cache import CacheStats, ReplayCache, SegmentCache, TraceCache
 from repro.engine.canonical import METRICS_SCHEMA, canonical_metrics, metrics_digest
 from repro.engine.engine import (
     Engine,
@@ -18,6 +18,11 @@ from repro.engine.engine import (
     get_engine,
 )
 from repro.engine.job import ReplayOutcome, SimJob
+from repro.engine.segmented import (
+    ReplayCheckpoint,
+    replay_segmented,
+    segment_fingerprint,
+)
 from repro.engine.specs import (
     ALWAYS_HIGH,
     BASELINE_PREDICTOR,
@@ -44,7 +49,9 @@ __all__ = [
     "PolicySpec",
     "PredictorSpec",
     "ReplayCache",
+    "ReplayCheckpoint",
     "ReplayOutcome",
+    "SegmentCache",
     "SimJob",
     "Spec",
     "SpecError",
@@ -55,4 +62,6 @@ __all__ = [
     "execute_job",
     "get_engine",
     "metrics_digest",
+    "replay_segmented",
+    "segment_fingerprint",
 ]

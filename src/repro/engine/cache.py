@@ -11,8 +11,12 @@ Two caches back the engine:
   directories small), so replays survive across processes and runs.
 - :class:`TraceCache` -- (name, n_branches, seed) -> generated trace,
   LRU-evicted against a total-branches budget.
+- :class:`SegmentCache` -- segment fingerprint -> (events, checkpoint)
+  for the segmented execution path (see :mod:`repro.engine.segmented`):
+  one entry per replayed trace segment, so re-running a job after a
+  suffix-only change replays only the dirty segments.
 
-Both expose monotonic counters; :class:`CacheStats` snapshots support
+All expose monotonic counters; :class:`CacheStats` snapshots support
 per-experiment deltas in the run summary.
 """
 
@@ -29,7 +33,7 @@ from typing import Optional, Tuple
 from repro import telemetry
 from repro.engine.job import ReplayOutcome
 
-__all__ = ["CacheStats", "ReplayCache", "TraceCache"]
+__all__ = ["CacheStats", "ReplayCache", "SegmentCache", "TraceCache"]
 
 logger = logging.getLogger(__name__)
 
@@ -218,6 +222,126 @@ class ReplayCache:
                     with os.fdopen(fd, "wb") as fh:
                         pickle.dump(
                             (outcome.events, outcome.result),
+                            fh,
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    os.replace(tmp, path)
+                except BaseException:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+                    raise
+
+    def clear(self) -> None:
+        """Drop in-memory entries (the disk layer is left alone)."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def cached_events(self) -> int:
+        """Total events currently held in memory."""
+        return self._lru.spent
+
+
+class SegmentCache:
+    """Segment fingerprint -> ``(events, checkpoint)``, LRU plus disk.
+
+    The value is one replayed segment: its *complete* event list (no
+    warm-up applied -- aggregation happens at merge time) and the
+    :class:`~repro.engine.segmented.ReplayCheckpoint` at the segment's
+    end, which chains into the next segment's fingerprint.  The disk
+    layer lives under ``<dir>/segments/`` so it can share a cache
+    directory with :class:`ReplayCache` without key collisions.
+    """
+
+    def __init__(
+        self,
+        event_budget: int = DEFAULT_EVENT_BUDGET,
+        disk_dir: Optional[str] = None,
+    ):
+        self._lru = _LruBudget(event_budget)
+        self.disk_dir = disk_dir
+        self.stats = CacheStats()
+
+    def _disk_path(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.disk_dir, "segments", fingerprint[:2], fingerprint + ".pkl"
+        )
+
+    def get(self, fingerprint: str):
+        """``(events, checkpoint)`` for a cached segment, else ``None``."""
+        tel = telemetry.get_registry()
+        entry = self._lru.get(fingerprint)
+        if entry is not None:
+            self.stats.hits += 1
+            if tel.enabled:
+                tel.counter("cache_segment_hits_total", tier="memory").inc()
+            return entry
+        if self.disk_dir is not None:
+            path = self._disk_path(fingerprint)
+            try:
+                fh = open(path, "rb")
+            except OSError:
+                fh = None
+            if fh is not None:
+                try:
+                    with fh:
+                        events, checkpoint = pickle.load(fh)
+                except Exception as exc:
+                    self.stats.corrupt += 1
+                    if tel.enabled:
+                        tel.counter("cache_disk_corrupt_total").inc()
+                    telemetry.log_event(
+                        "cache.corrupt_entry",
+                        level=logging.WARNING,
+                        message=(
+                            "segment cache: dropping corrupt entry; recomputing"
+                        ),
+                        logger=logger,
+                        path=path,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                else:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    if tel.enabled:
+                        tel.counter("cache_segment_hits_total", tier="disk").inc()
+                    entry = (events, checkpoint)
+                    self._lru.put(fingerprint, entry, cost=max(1, len(events)))
+                    self._note_evictions(tel)
+                    return entry
+        self.stats.misses += 1
+        if tel.enabled:
+            tel.counter("cache_segment_misses_total").inc()
+        return None
+
+    def _note_evictions(self, tel) -> None:
+        new = self._lru.evictions - self.stats.evictions
+        self.stats.evictions = self._lru.evictions
+        if new and tel.enabled:
+            tel.counter("cache_segment_evictions_total").inc(new)
+
+    def put(self, fingerprint: str, events, checkpoint) -> None:
+        self._lru.put(
+            fingerprint, (events, checkpoint), cost=max(1, len(events))
+        )
+        self._note_evictions(telemetry.get_registry())
+        if self.disk_dir is not None:
+            path = self._disk_path(fingerprint)
+            if not os.path.exists(path):
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        pickle.dump(
+                            (events, checkpoint),
                             fh,
                             protocol=pickle.HIGHEST_PROTOCOL,
                         )

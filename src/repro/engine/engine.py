@@ -26,6 +26,7 @@ from repro.engine.cache import (
     DEFAULT_TRACE_BUDGET,
     CacheStats,
     ReplayCache,
+    SegmentCache,
     TraceCache,
 )
 from repro.engine.job import ReplayOutcome, SimJob
@@ -39,7 +40,7 @@ __all__ = [
 ]
 
 
-def _replay_trace(job: SimJob, trace) -> ReplayOutcome:
+def _replay_trace(job: SimJob, trace, segments=None) -> ReplayOutcome:
     """Replay a prepared trace through fresh spec-built components.
 
     Pure in the job description: no shared mutable state is read, which
@@ -49,11 +50,27 @@ def _replay_trace(job: SimJob, trace) -> ReplayOutcome:
     proven support matrix; anything else (including a missing numpy)
     falls back to the reference loop below, which is the semantic
     definition both backends must match.
+
+    Jobs with ``segment_size`` set replay as a checkpointed segment
+    chain through ``segments`` (a
+    :class:`~repro.engine.cache.SegmentCache`); the chain is
+    bit-identical to the monolithic pass below.
     """
     from repro.core.frontend import FrontEnd, FrontEndResult
 
     tel = telemetry.get_registry()
     started = time.monotonic() if tel.enabled else 0.0
+
+    if job.segment_size is not None:
+        from repro.engine.segmented import replay_segmented
+
+        outcome, _ = replay_segmented(job, trace, cache=segments)
+        if tel.enabled:
+            tel.counter("engine_replays_total", backend=outcome.backend).inc()
+            tel.histogram(
+                "engine_replay_seconds", backend=outcome.backend
+            ).observe(time.monotonic() - started)
+        return outcome
 
     if job.backend == "fast":
         from repro import fastpath
@@ -110,7 +127,9 @@ def execute_job(job: SimJob) -> ReplayOutcome:
     jobs that land on that worker.
     """
     engine = get_engine()
-    return _replay_trace(job, engine.trace(*job.trace_key))
+    return _replay_trace(
+        job, engine.trace(*job.trace_key), segments=engine._segments
+    )
 
 
 def _execute_job_telemetry(job: SimJob):
@@ -141,11 +160,13 @@ class EngineStats:
         traces: CacheStats,
         executed: int = 0,
         parallel_executed: int = 0,
+        segments: Optional[CacheStats] = None,
     ):
         self.replay = replay
         self.traces = traces
         self.executed = executed
         self.parallel_executed = parallel_executed
+        self.segments = segments if segments is not None else CacheStats()
 
     def snapshot(self) -> "EngineStats":
         return EngineStats(
@@ -153,6 +174,7 @@ class EngineStats:
             self.traces.snapshot(),
             self.executed,
             self.parallel_executed,
+            self.segments.snapshot(),
         )
 
     def since(self, other: "EngineStats") -> "EngineStats":
@@ -161,13 +183,17 @@ class EngineStats:
             self.traces.since(other.traces),
             self.executed - other.executed,
             self.parallel_executed - other.parallel_executed,
+            self.segments.since(other.segments),
         )
 
     def format(self) -> str:
-        return (
+        out = (
             f"replays: {self.replay.format()}; "
             f"traces: {self.traces.format()}"
         )
+        if self.segments.requests:
+            out += f"; segments: {self.segments.format()}"
+        return out
 
 
 class Engine:
@@ -192,6 +218,7 @@ class Engine:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
         self._replays = ReplayCache(event_budget, disk_dir=cache_dir)
+        self._segments = SegmentCache(event_budget, disk_dir=cache_dir)
         self._traces = TraceCache(trace_budget)
         self._executed = 0
         self._parallel_executed = 0
@@ -209,11 +236,13 @@ class Engine:
             self._traces.stats,
             self._executed,
             self._parallel_executed,
+            self._segments.stats,
         )
 
     def clear_cache(self) -> None:
-        """Drop all in-memory cached replays and traces."""
+        """Drop all in-memory cached replays, segments and traces."""
         self._replays.clear()
+        self._segments.clear()
         self._traces.clear()
 
     def trace(self, name: str, n_branches: int, seed: int):
@@ -287,7 +316,11 @@ class Engine:
                         )
                 else:
                     outcomes = [
-                        _replay_trace(job, self.trace(*job.trace_key))
+                        _replay_trace(
+                            job,
+                            self.trace(*job.trace_key),
+                            segments=self._segments,
+                        )
                         for job in pending
                     ]
                 self._executed += len(pending)
@@ -297,6 +330,60 @@ class Engine:
                     self._replays.put(fp, outcome)
 
             return [resolved[fp] for fp in fingerprints]
+
+    def stream(self, job: SimJob, segment_size: Optional[int] = None):
+        """Replay ``job`` with bounded memory; aggregates, keeps no events.
+
+        Pulls records lazily from the benchmark generator one segment
+        at a time and folds each event into the result as it is
+        produced, so peak memory is one segment of records regardless
+        of ``job.n_branches`` -- the trace is never materialized and
+        the trace cache is bypassed.  The returned
+        :class:`~repro.core.frontend.FrontEndResult` is bit-identical
+        to ``self.replay(job).result`` (generator prefixes are
+        length-stable, and replay order is unchanged).
+
+        ``segment_size`` overrides the pull granularity (default:
+        ``job.segment_size`` or 8192); it only bounds memory, never
+        changes the result.  Runs the reference loop -- streaming
+        trades the fast backend's whole-trace vectorization for the
+        bounded footprint.
+        """
+        from itertools import islice
+
+        from repro.core.frontend import FrontEnd, FrontEndResult
+        from repro.trace.benchmarks import benchmark_record_stream
+        from repro.trace.segments import iter_record_segments
+
+        size = segment_size or job.segment_size or 8192
+        tel = telemetry.get_registry()
+        with telemetry.trace_span(
+            "engine.stream", job=job.benchmark, segment_size=size
+        ):
+            frontend = FrontEnd(
+                job.predictor.build(),
+                job.estimator.build(),
+                job.policy.build(),
+                collect_outputs=job.collect_outputs,
+            )
+            result = FrontEndResult()
+            processed = 0
+            records = islice(
+                benchmark_record_stream(job.benchmark, job.seed),
+                job.n_branches,
+            )
+            for segment in iter_record_segments(records, size):
+                frontend.replay(
+                    segment,
+                    warmup=max(0, job.warmup - processed),
+                    result=result,
+                )
+                processed += len(segment)
+                if tel.enabled:
+                    tel.counter("engine_stream_segments_total").inc()
+        if tel.enabled:
+            tel.counter("engine_replays_total", backend="stream").inc()
+        return result
 
     @staticmethod
     def simulate(events, config):
@@ -345,6 +432,8 @@ def configure_engine(
         engine.max_workers = max_workers
     if cache_dir is not None:
         engine._replays.disk_dir = cache_dir
+        engine._segments.disk_dir = cache_dir
     if event_budget is not None:
         engine._replays._lru.budget = event_budget
+        engine._segments._lru.budget = event_budget
     return engine

@@ -38,6 +38,7 @@ __all__ = [
     "unsupported_reason",
     "replay_trace",
     "replay_with_state",
+    "replay_segment",
 ]
 
 
@@ -352,10 +353,10 @@ def _aggregate(job, col, ppass, epass, final_arr, reverse_arr):
     return result
 
 
-def _materialize_events(job, col, ppass, signals, decisions):
+def _materialize_events(job, col, ppass, signals, decisions, warmup=None):
     from repro.core.frontend import FrontEndEvent
 
-    w = job.warmup
+    w = job.warmup if warmup is None else warmup
     n = col.n
     pcs = col.pc_list
     takens = col.taken_list
@@ -420,3 +421,41 @@ def replay_with_state(job, trace):
     result = _aggregate(job, col, ppass, epass, final_arr, reverse_arr)
     events = _materialize_events(job, col, ppass, signals, decisions)
     return events, result, ppass.state, epass.state
+
+
+def replay_segment(job, segment, predictor_state, estimator_state, history_bits, path):
+    """Fast replay of one checkpointed segment of ``job``'s trace.
+
+    ``predictor_state``/``estimator_state`` are the incoming
+    checkpoint's canonical tuples (``None`` for a fresh start), and
+    ``history_bits``/``path`` its trailing outcome/address windows
+    (:data:`~repro.engine.segmented.CHECKPOINT_WINDOW` wide).  Returns
+    ``(events, predictor_state, estimator_state, history_bits, path)``
+    describing all of the segment's events (warm-up applies at merge
+    time, not here) and the outgoing checkpoint fields.
+
+    The columnar view is built per call rather than through
+    :func:`get_columnar`: its derived columns depend on the incoming
+    context, so the whole-trace cache must not serve it.  The
+    per-trace predictor-pass cache is skipped for the same reason.
+    """
+    from repro.engine.segmented import CHECKPOINT_WINDOW
+    from repro.fastpath import FastPathUnsupported
+
+    try:
+        col = ColumnarTrace(segment, init_history=history_bits, init_path=path)
+    except ValueError as exc:
+        raise FastPathUnsupported(str(exc)) from None
+    tel = get_registry()
+    if tel.enabled:
+        tel.histogram(
+            "fastpath_batch_branches", buckets=COUNT_BUCKETS
+        ).observe(col.n)
+    ppass = run_predictor(job.predictor, col, predictor_state)
+    epass = run_estimator(job.estimator, col, ppass.pred, ppass.correct, estimator_state)
+    decisions, _final_arr, _reverse_arr = _decide(job, col, ppass, epass)
+    signals = _signals(epass)
+    events = _materialize_events(job, col, ppass, signals, decisions, warmup=0)
+    out_history = col.final_history(CHECKPOINT_WINDOW)
+    out_path = tuple((list(path) + col.pc_list)[-CHECKPOINT_WINDOW:])
+    return events, ppass.state, epass.state, out_history, out_path

@@ -77,7 +77,9 @@ def _gshare_indices(col: ColumnarTrace, entries: int, history_length: int) -> Li
     ).tolist()
 
 
-def _run_baseline_hybrid(col: ColumnarTrace, params: dict) -> PredictorPass:
+def _run_baseline_hybrid(
+    col: ColumnarTrace, params: dict, init_state=None
+) -> PredictorPass:
     bim_entries = params["bimodal_entries"]
     gsh_entries = params["gshare_entries"]
     meta_entries = params["meta_entries"]
@@ -88,9 +90,15 @@ def _run_baseline_hybrid(col: ColumnarTrace, params: dict) -> PredictorPass:
     g_idx = _gshare_indices(col, gsh_entries, history_length)
     takl = col.taken_list
 
-    bim = [2] * bim_entries
-    gsh = [2] * gsh_entries
-    meta = [2] * meta_entries
+    if init_state is None:
+        bim = [2] * bim_entries
+        gsh = [2] * gsh_entries
+        meta = [2] * meta_entries
+    else:
+        # ("combined", ("bimodal", bim), ("gshare", h, gsh, bits), meta, bits)
+        bim = list(init_state[1][1])
+        gsh = list(init_state[2][2])
+        meta = list(init_state[3])
     n = col.n
     pred = [False] * n
     for i in range(n):
@@ -131,12 +139,25 @@ def _run_baseline_hybrid(col: ColumnarTrace, params: dict) -> PredictorPass:
     return _finish(col, pred, state)
 
 
-def _run_gshare_perceptron_hybrid(col: ColumnarTrace, params: dict) -> PredictorPass:
+def _run_gshare_perceptron_hybrid(
+    col: ColumnarTrace, params: dict, init_state=None
+) -> PredictorPass:
     gsh_entries = params["gshare_entries"]
     gshare_history = params["gshare_history"]
     perc_entries = params["perceptron_entries"]
     perc_history = params["perceptron_history"]
     meta_entries = params["meta_entries"]
+
+    if init_state is None:
+        init_weights = None
+        gsh = [2] * gsh_entries
+        meta = [2] * meta_entries
+    else:
+        # ("combined", ("gshare", h, gsh, bits),
+        #  ("perceptron_predictor", rows, bits), meta, bits)
+        gsh = list(init_state[1][2])
+        init_weights = np.asarray(init_state[2][1], dtype=np.int64)
+        meta = list(init_state[3])
 
     # Component B first: the direction-trained perceptron is
     # self-contained (trains on every branch outcome), so one SWAR pass
@@ -152,15 +173,14 @@ def _run_gshare_perceptron_hybrid(col: ColumnarTrace, params: dict) -> Predictor
         theta,
         w_min=-128,
         w_max=127,
+        init_weights=init_weights,
+        init_history=col.init_history & ((1 << perc_history) - 1),
     )
     pb_list = [y >= 0 for y in ys]
 
     g_idx = _gshare_indices(col, gsh_entries, gshare_history)
     m_idx = ((col.pcs >> 2) % meta_entries).tolist()
     takl = col.taken_list
-
-    gsh = [2] * gsh_entries
-    meta = [2] * meta_entries
     n = col.n
     pred = [False] * n
     for i in range(n):
@@ -205,8 +225,14 @@ _RUNNERS = {
 }
 
 
-def run_predictor(spec, col: ColumnarTrace) -> PredictorPass:
-    """Replay ``spec`` (a PredictorSpec) over the whole trace."""
+def run_predictor(spec, col: ColumnarTrace, init_state=None) -> PredictorPass:
+    """Replay ``spec`` (a PredictorSpec) over the whole trace.
+
+    ``init_state`` is a prior ``state_canonical()`` tuple for
+    checkpoint resume (segment replay); ``None`` means fresh tables.
+    The history context comes from ``col.init_history``, not the state
+    tuple, so the columnar view and the seeded tables stay consistent.
+    """
     runner = _RUNNERS.get(spec.kind)
     if runner is None:
         from repro.fastpath import FastPathUnsupported
@@ -214,4 +240,4 @@ def run_predictor(spec, col: ColumnarTrace) -> PredictorPass:
         raise FastPathUnsupported(f"no fast predictor pass for kind {spec.kind!r}")
     params = dict(PREDICTOR_DEFAULTS[spec.kind])
     params.update(spec.param_dict())
-    return runner(col, params)
+    return runner(col, params, init_state)

@@ -21,6 +21,8 @@ Public surface:
 - :mod:`repro.trace.benchmarks` -- the twelve SPECint2000-like profiles
   of Table 2 and :func:`generate_benchmark_trace`.
 - :mod:`repro.trace.io` -- text and binary trace serialisation.
+- :mod:`repro.trace.segments` -- lazy segment iteration and the indexed
+  on-disk segment format used by segmented streaming execution.
 """
 
 from repro.trace.behaviors import (
@@ -45,6 +47,12 @@ from repro.trace.benchmarks import (
 from repro.trace.generator import StaticBranch, TraceGenerator, WorkloadSpec
 from repro.trace.io import load_trace, save_trace
 from repro.trace.record import BranchRecord, Trace, TraceStats
+from repro.trace.segments import (
+    SegmentedTrace,
+    iter_record_segments,
+    save_segmented,
+    segment_bounds,
+)
 
 __all__ = [
     "BranchBehavior",
@@ -67,4 +75,8 @@ __all__ = [
     "BranchRecord",
     "Trace",
     "TraceStats",
+    "SegmentedTrace",
+    "iter_record_segments",
+    "save_segmented",
+    "segment_bounds",
 ]

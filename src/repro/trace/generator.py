@@ -213,33 +213,30 @@ class TraceGenerator:
             gap = base
         return max(0, int(round(gap)))
 
-    def _emit(self, static: StaticBranch, records: List[BranchRecord]) -> None:
+    def _make_record(self, static: StaticBranch) -> BranchRecord:
+        """Emit one dynamic branch and shift the generator history."""
         outcome = static.behavior.next_outcome(self._history, self._outcome_rng)
-        records.append(
-            BranchRecord(
-                pc=static.pc,
-                taken=outcome,
-                uops_before=self._draw_uop_gap(),
-            )
+        record = BranchRecord(
+            pc=static.pc,
+            taken=outcome,
+            uops_before=self._draw_uop_gap(),
         )
         self._history = (
             (self._history << 1) | (1 if outcome else 0)
         ) & self._history_mask
+        return record
 
-    def _emit_loop_instance(
-        self, static: StaticBranch, records: List[BranchRecord], limit: int
-    ) -> None:
-        """Emit back-edge executions until the loop exits (or limit)."""
+    def _iter_loop_instance(self, static: StaticBranch):
+        """Yield back-edge executions until the loop exits (or the cap)."""
         from repro.trace.behaviors import LoopBehavior
 
         behavior = static.behavior
         assert isinstance(behavior, LoopBehavior)
         cap = behavior.max_trips + 1
         for _ in range(cap):
-            if len(records) >= limit:
-                return
-            self._emit(static, records)
-            if not records[-1].taken:  # the exit was emitted
+            record = self._make_record(static)
+            yield record
+            if not record.taken:  # the exit was emitted
                 return
 
     def _draw_repeats(self) -> int:
@@ -249,18 +246,26 @@ class TraceGenerator:
         draw = int(self._select_rng.geometric(1.0 / mean))
         return min(max(1, draw), self._MAX_REPEATS)
 
-    def generate(self, n_branches: int) -> Trace:
-        """Generate a trace of ``n_branches`` dynamic branches."""
-        if n_branches < 0:
-            raise ValueError(f"n_branches must be non-negative, got {n_branches}")
+    def iter_records(self):
+        """Lazily yield the generator's record stream, unbounded.
+
+        This is the canonical emission order: :meth:`generate` is
+        exactly "collect the first ``n`` records of this stream", so
+        prefixes are *length-stable* -- the first ``n`` records are
+        identical whatever longer length is eventually drawn.  (All RNG
+        draws happen per emitted record or per block pick, never as a
+        function of a target length; the generator pauses mid-block
+        after each yield.)  Consumers that keep only a bounded window
+        of records -- segment iteration, streaming replay -- therefore
+        never materialize more than that window.
+        """
         from repro.trace.behaviors import LoopBehavior
 
-        records: List[BranchRecord] = []
         n_blocks = len(self._blocks)
         batch = 4096
         picks = []
         pick_pos = 0
-        while len(records) < n_branches:
+        while True:
             if pick_pos >= len(picks):
                 picks = self._select_rng.choice(
                     n_blocks, size=batch, p=self._block_weights
@@ -270,14 +275,23 @@ class TraceGenerator:
             pick_pos += 1
             for _ in range(self._draw_repeats()):
                 for static in block.members:
-                    if len(records) >= n_branches:
-                        break
                     if isinstance(static.behavior, LoopBehavior):
-                        self._emit_loop_instance(static, records, n_branches)
+                        yield from self._iter_loop_instance(static)
                     else:
-                        self._emit(static, records)
-                if len(records) >= n_branches:
-                    break
+                        yield self._make_record(static)
+
+    def generate(self, n_branches: int) -> Trace:
+        """Generate a trace of ``n_branches`` dynamic branches.
+
+        Equal to the first ``n_branches`` records of
+        :meth:`iter_records` (materialized; use the stream directly for
+        bounded-memory pipelines).
+        """
+        if n_branches < 0:
+            raise ValueError(f"n_branches must be non-negative, got {n_branches}")
+        from itertools import islice
+
+        records = list(islice(self.iter_records(), n_branches))
         return Trace(records, name=self.spec.name, seed=self.seed)
 
 

@@ -91,38 +91,48 @@ def _load_text(path: str) -> Trace:
     return Trace(records, name=name, seed=seed)
 
 
+_MAX_UINT64_PC = (1 << 64) - 1
+
+
 def _save_binary(trace: Trace, path: str) -> None:
     n = len(trace)
-    pcs = np.empty(n, dtype=np.uint64)
     taken = np.empty(n, dtype=np.bool_)
     uops = np.empty(n, dtype=np.uint32)
     for i, rec in enumerate(trace):
-        pcs[i] = rec.pc
         taken[i] = rec.taken
         uops[i] = rec.uops_before
-    meta = dict(name=trace.name)
-    if trace.seed is not None:
-        meta["seed"] = str(trace.seed)
-    np.savez_compressed(
-        path,
-        pcs=pcs,
+    payload = dict(
         taken=taken,
         uops_before=uops,
         name=np.array(trace.name),
         seed=np.array(-1 if trace.seed is None else trace.seed, dtype=np.int64),
     )
+    if all(rec.pc <= _MAX_UINT64_PC for rec in trace):
+        pcs = np.empty(n, dtype=np.uint64)
+        for i, rec in enumerate(trace):
+            pcs[i] = rec.pc
+        payload["pcs"] = pcs
+    else:
+        # Records allow arbitrarily wide addresses; a uint64 column would
+        # overflow, so fall back to a hex-string column (unicode arrays
+        # stay loadable with allow_pickle=False).
+        payload["pcs_hex"] = np.array([format(rec.pc, "x") for rec in trace])
+    np.savez_compressed(path, **payload)
 
 
 def _load_binary(path: str) -> Trace:
     with np.load(path, allow_pickle=False) as data:
-        pcs = data["pcs"]
+        if "pcs" in data.files:
+            pcs = [int(v) for v in data["pcs"]]
+        else:
+            pcs = [int(str(v), 16) for v in data["pcs_hex"]]
         taken = data["taken"]
         uops = data["uops_before"]
         name = str(data["name"])
         seed_val = int(data["seed"])
     seed = None if seed_val < 0 else seed_val
     records = [
-        BranchRecord(pc=int(pcs[i]), taken=bool(taken[i]), uops_before=int(uops[i]))
+        BranchRecord(pc=pcs[i], taken=bool(taken[i]), uops_before=int(uops[i]))
         for i in range(len(pcs))
     ]
     return Trace(records, name=name, seed=seed)

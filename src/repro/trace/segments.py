@@ -1,0 +1,237 @@
+"""Segment iteration and the indexed on-disk segment format.
+
+Segmented streaming execution (see ``docs/architecture.md``) cuts a
+trace into fixed-size contiguous segments and replays them one at a
+time, so no layer ever has to materialize more than one segment.  This
+module provides the two trace-side halves of that architecture:
+
+- :func:`segment_bounds` / :func:`iter_record_segments` -- pure
+  segment arithmetic and lazy segmentation of any record stream
+  (a materialized :class:`~repro.trace.record.Trace`, or the unbounded
+  :meth:`~repro.trace.generator.TraceGenerator.iter_records` stream);
+- :func:`save_segmented` / :class:`SegmentedTrace` -- an indexed
+  on-disk layout (one ``.npz`` per segment plus a JSON index) whose
+  writer consumes a stream one segment at a time and whose reader loads
+  any segment in O(segment size), never the whole trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from itertools import islice
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.trace.io import load_trace, save_trace
+from repro.trace.record import BranchRecord, Trace
+
+__all__ = [
+    "segment_bounds",
+    "iter_record_segments",
+    "save_segmented",
+    "SegmentedTrace",
+]
+
+#: Index file inside a segmented-trace directory.
+INDEX_NAME = "index.json"
+
+#: On-disk layout version; bumped on incompatible index changes.
+SEGMENT_SCHEMA = 1
+
+
+def _check_segment_size(segment_size: int) -> None:
+    if segment_size < 1:
+        raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+
+
+def segment_bounds(
+    n_branches: int, segment_size: int
+) -> List[Tuple[int, int]]:
+    """``[start, stop)`` bounds cutting ``n_branches`` into segments.
+
+    Every segment except possibly the last has exactly ``segment_size``
+    branches; a zero-length trace has no segments.  Bounds depend only
+    on ``(n_branches, segment_size)``, so two runs over the same trace
+    always agree on where the cuts fall.
+    """
+    if n_branches < 0:
+        raise ValueError(f"n_branches must be >= 0, got {n_branches}")
+    _check_segment_size(segment_size)
+    return [
+        (start, min(start + segment_size, n_branches))
+        for start in range(0, n_branches, segment_size)
+    ]
+
+
+def iter_record_segments(
+    records: Iterable[BranchRecord], segment_size: int
+) -> Iterator[List[BranchRecord]]:
+    """Lazily cut a record stream into lists of ``segment_size``.
+
+    Pulls from ``records`` one segment at a time; only the segment
+    being yielded is materialized.  The final segment may be shorter.
+    Safe on unbounded streams (stop consuming to stop generating).
+    """
+    _check_segment_size(segment_size)
+    iterator = iter(records)
+    while True:
+        segment = list(islice(iterator, segment_size))
+        if not segment:
+            return
+        yield segment
+
+
+def _segment_file(index: int) -> str:
+    return f"segment-{index:06d}.npz"
+
+
+def save_segmented(
+    records: Iterable[BranchRecord],
+    directory: str,
+    segment_size: int,
+    name: str = "trace",
+    seed: Optional[int] = None,
+    n_branches: Optional[int] = None,
+) -> "SegmentedTrace":
+    """Write a record stream as an indexed segment directory.
+
+    Consumes ``records`` one segment at a time (peak memory is one
+    segment, whatever the stream length).  Passing a
+    :class:`~repro.trace.record.Trace` picks up its name/seed metadata
+    unless overridden; ``n_branches`` bounds an unbounded stream.
+
+    The directory holds one ``.npz`` per segment plus ``index.json``
+    describing the layout; the index is written last, so a crashed
+    writer never leaves a readable-but-truncated trace behind.
+    """
+    _check_segment_size(segment_size)
+    if isinstance(records, Trace):
+        if name == "trace":
+            name = records.name
+        if seed is None:
+            seed = records.seed
+    stream: Iterable[BranchRecord] = iter(records)
+    if n_branches is not None:
+        if n_branches < 0:
+            raise ValueError(f"n_branches must be >= 0, got {n_branches}")
+        stream = islice(stream, n_branches)
+    os.makedirs(directory, exist_ok=True)
+    segments = []
+    start = 0
+    for i, segment in enumerate(iter_record_segments(stream, segment_size)):
+        filename = _segment_file(i)
+        save_trace(
+            Trace(segment, name=name, seed=seed),
+            os.path.join(directory, filename),
+        )
+        segments.append(
+            {"file": filename, "start": start, "stop": start + len(segment)}
+        )
+        start += len(segment)
+    index = {
+        "schema": SEGMENT_SCHEMA,
+        "name": name,
+        "seed": seed,
+        "segment_size": segment_size,
+        "n_branches": start,
+        "segments": segments,
+    }
+    tmp = os.path.join(directory, INDEX_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(index, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, os.path.join(directory, INDEX_NAME))
+    return SegmentedTrace(directory)
+
+
+class SegmentedTrace:
+    """Reader for a directory written by :func:`save_segmented`.
+
+    Opening reads only the JSON index; segment payloads load on demand,
+    one at a time, so iterating a long trace keeps peak memory at one
+    segment.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        index_path = os.path.join(directory, INDEX_NAME)
+        try:
+            with open(index_path, "r", encoding="utf-8") as fh:
+                index = json.load(fh)
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"{directory}: not a segmented trace (no {INDEX_NAME})"
+            )
+        schema = index.get("schema")
+        if schema != SEGMENT_SCHEMA:
+            raise ValueError(
+                f"{index_path}: unsupported segment schema {schema!r} "
+                f"(expected {SEGMENT_SCHEMA})"
+            )
+        self.name = str(index["name"])
+        seed = index.get("seed")
+        self.seed = None if seed is None else int(seed)
+        self.segment_size = int(index["segment_size"])
+        self.n_branches = int(index["n_branches"])
+        self._segments = index["segments"]
+        stop = 0
+        for entry in self._segments:
+            if entry["start"] != stop:
+                raise ValueError(
+                    f"{index_path}: segment starts are not contiguous "
+                    f"(expected {stop}, got {entry['start']})"
+                )
+            stop = entry["stop"]
+        if stop != self.n_branches:
+            raise ValueError(
+                f"{index_path}: segments cover {stop} branches, index "
+                f"claims {self.n_branches}"
+            )
+
+    @property
+    def n_segments(self) -> int:
+        """Number of on-disk segments."""
+        return len(self._segments)
+
+    def bounds(self, index: int) -> Tuple[int, int]:
+        """``[start, stop)`` of segment ``index`` within the trace."""
+        entry = self._segments[index]
+        return entry["start"], entry["stop"]
+
+    def segment(self, index: int) -> Trace:
+        """Load one segment as a trace (O(segment size) work/memory)."""
+        entry = self._segments[index]
+        trace = load_trace(os.path.join(self.directory, entry["file"]))
+        expected = entry["stop"] - entry["start"]
+        if len(trace) != expected:
+            raise ValueError(
+                f"{entry['file']}: holds {len(trace)} records, index "
+                f"claims {expected}"
+            )
+        return trace
+
+    def iter_segments(self) -> Iterator[Trace]:
+        """Yield segments in order, loading one at a time."""
+        for i in range(self.n_segments):
+            yield self.segment(i)
+
+    def iter_records(self) -> Iterator[BranchRecord]:
+        """Yield all records in order with one-segment peak memory."""
+        for segment in self.iter_segments():
+            for record in segment:
+                yield record
+
+    def load(self) -> Trace:
+        """Materialize the whole trace (convenience for small traces)."""
+        records = list(self.iter_records())
+        return Trace(records, name=self.name, seed=self.seed)
+
+    def __len__(self) -> int:
+        return self.n_branches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SegmentedTrace(directory={self.directory!r}, "
+            f"n_branches={self.n_branches}, "
+            f"segment_size={self.segment_size})"
+        )

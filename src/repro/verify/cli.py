@@ -103,6 +103,33 @@ def _run_fastpath_layer(engine, profile, stream) -> List[str]:
     return failures
 
 
+def _run_segmented_layer(engine, profile, stream) -> List[str]:
+    from repro import fastpath
+    from repro.verify.segmented import run_segmented_equivalence
+
+    failures = []
+    print(
+        f"== segmented: {len(CASES)} cases x "
+        f"{profile.differential_branches} branches ==",
+        file=stream,
+    )
+    backends = ("reference", "fast") if fastpath.available() else ("reference",)
+    if len(backends) == 1:
+        print(
+            "note segmented: fast backend skipped (numpy not installed)",
+            file=stream,
+        )
+    trace = engine.trace(
+        profile.benchmarks[0], profile.differential_branches, seed=1
+    )
+    for case in CASES:
+        for report in run_segmented_equivalence(trace, case, backends=backends):
+            print(report.format(), file=stream)
+            if not report.ok:
+                failures.append(f"segmented: {report.format()}")
+    return failures
+
+
 def _run_golden_layer(engine, profile, refresh, reason, stream, backend) -> List[str]:
     print(
         f"== golden gate [{profile.name}, backend={backend}]: "
@@ -135,6 +162,7 @@ def run_verification(
     markdown: Optional[str] = None,
     stream=None,
     fastpath: bool = True,
+    segmented: bool = True,
     backend: str = "reference",
     telemetry_path: Optional[str] = None,
     trace_out: Optional[str] = None,
@@ -183,6 +211,10 @@ def run_verification(
             )
         if fastpath:
             yield "fastpath", lambda: _run_fastpath_layer(
+                engine, profile, stream
+            )
+        if segmented:
+            yield "segmented", lambda: _run_segmented_layer(
                 engine, profile, stream
             )
         if golden:
@@ -291,6 +323,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the fast-vs-reference backend cross-check layer",
     )
+    parser.add_argument(
+        "--skip-segmented",
+        action="store_true",
+        help="skip the segmented-vs-monolithic equivalence layer",
+    )
     parser.add_argument("--skip-golden", action="store_true", help="skip layer 3")
     parser.add_argument(
         "--backend",
@@ -340,6 +377,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         markdown=args.markdown,
         fastpath=not args.skip_fastpath,
+        segmented=not args.skip_segmented,
         backend=args.backend,
         telemetry_path=args.telemetry,
         trace_out=args.trace_out,

@@ -61,7 +61,7 @@ class TestOnStream:
         behaviour: meaningful coverage, meaningful accuracy, no storage."""
         hybrid = make_baseline_hybrid()
         est = ComponentAgreementEstimator(hybrid)
-        result = FrontEnd(hybrid, est).run(gzip_trace, warmup=4000)
+        result = FrontEnd(hybrid, est).replay(gzip_trace, warmup=4000)
         matrix = result.metrics.overall
         assert matrix.flagged_low > 0
         assert matrix.spec > 0.1

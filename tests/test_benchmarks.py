@@ -115,7 +115,7 @@ class TestCalibration:
 
         trace = generate_benchmark_trace(name, n_branches=40_000, seed=1)
         frontend = FrontEnd(make_baseline_hybrid(), AlwaysHighEstimator())
-        result = frontend.run(trace, warmup=14_000)
+        result = frontend.replay(trace, warmup=14_000)
         uops = sum(r.uops for r in trace.records[14_000:])
         per_kuop = 1000.0 * result.mispredictions / uops
         target = TABLE2_MISPREDICTS_PER_KUOP[name]
@@ -131,6 +131,6 @@ class TestCalibration:
         for name in ("mcf", "gzip", "vortex"):
             trace = generate_benchmark_trace(name, n_branches=25_000, seed=1)
             frontend = FrontEnd(make_baseline_hybrid(), AlwaysHighEstimator())
-            result = frontend.run(trace, warmup=9_000)
+            result = frontend.replay(trace, warmup=9_000)
             rates[name] = result.misprediction_rate
         assert rates["mcf"] > rates["gzip"] > rates["vortex"]

@@ -28,7 +28,7 @@ class TestAgreementEstimator:
                 make_baseline_hybrid(),
                 AgreementEstimator(*make_pair(), mode=mode),
             )
-            results[mode] = frontend.run(simple_trace, warmup=1000)
+            results[mode] = frontend.replay(simple_trace, warmup=1000)
         inter = results["intersection"].metrics.overall
         union = results["union"].metrics.overall
         assert inter.flagged_low <= union.flagged_low
@@ -45,7 +45,7 @@ class TestAgreementEstimator:
     def test_components_train_independently(self, simple_trace):
         est = AgreementEstimator(*make_pair(), mode="intersection")
         frontend = FrontEnd(make_baseline_hybrid(), est)
-        frontend.run(simple_trace.slice(0, 1500))
+        frontend.replay(simple_trace.slice(0, 1500))
         # The JRS component must have accumulated miss-distance state.
         assert est.secondary.estimate(simple_trace[0].pc, True).raw >= 0
         # The perceptron component must have non-zero weights somewhere.
@@ -65,7 +65,7 @@ class TestAgreementEstimator:
 
     def test_reset(self, simple_trace):
         est = AgreementEstimator(*make_pair())
-        FrontEnd(make_baseline_hybrid(), est).run(simple_trace.slice(0, 800))
+        FrontEnd(make_baseline_hybrid(), est).replay(simple_trace.slice(0, 800))
         est.reset()
         assert not est.primary.array.snapshot().any()
 
@@ -84,7 +84,7 @@ class TestCascadeEstimator:
     def test_primary_decides_outside_band(self, simple_trace):
         est = CascadeEstimator(*make_pair(), neutral_band=5)
         frontend = FrontEnd(make_baseline_hybrid(), est)
-        frontend.run(simple_trace, warmup=1000)
+        frontend.replay(simple_trace, warmup=1000)
         # Drive primary strongly high-confidence for a deterministic pc,
         # then the cascade must report high even if JRS would flag.
         pc = simple_trace[0].pc
@@ -98,7 +98,7 @@ class TestCascadeEstimator:
         """The cascade lands between perceptron and JRS coverage."""
         def run(est):
             frontend = FrontEnd(make_baseline_hybrid(), est)
-            return frontend.run(simple_trace, warmup=1000).metrics.overall
+            return frontend.replay(simple_trace, warmup=1000).metrics.overall
 
         perc = run(PerceptronConfidenceEstimator(threshold=0))
         jrs = run(JRSEstimator(threshold=7))

@@ -112,7 +112,7 @@ class TestProtocolConformance:
     ):
         estimator, predictor = estimator_and_predictor
         frontend = FrontEnd(predictor, estimator)
-        result = frontend.run(simple_trace, warmup=500)
+        result = frontend.replay(simple_trace, warmup=500)
         matrix = result.metrics.overall
         assert matrix.total == result.branches
         assert 0.0 <= matrix.pvn <= 1.0
@@ -124,7 +124,7 @@ class TestProtocolConformance:
     ):
         estimator, predictor = estimator_and_predictor
         cold = estimator.estimate(0x400000, True)
-        FrontEnd(predictor, estimator).run(simple_trace.slice(0, 800))
+        FrontEnd(predictor, estimator).replay(simple_trace.slice(0, 800))
         estimator.reset()
         predictor.reset()
         warm_reset = estimator.estimate(0x400000, True)
@@ -148,7 +148,7 @@ class TestEstimatorStateCanonical:
         _, spec = specs_for_estimator_kind(kind)[0]
         estimator = spec.build()
         cold = estimator.state_digest()
-        FrontEnd(make_baseline_hybrid(), estimator).run(
+        FrontEnd(make_baseline_hybrid(), estimator).replay(
             simple_trace.slice(0, 400)
         )
         if kind == "always_high":  # stateless by construction

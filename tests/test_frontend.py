@@ -39,7 +39,7 @@ class TestProcess:
 
     def test_predictor_trains_through_frontend(self):
         fe = FrontEnd(make_baseline_hybrid(), AlwaysHighEstimator())
-        result = fe.run(two_branch_trace(), warmup=40)
+        result = fe.replay(two_branch_trace(), warmup=40)
         assert result.misprediction_rate < 0.05
 
     def test_estimator_history_shifts(self):
@@ -53,27 +53,27 @@ class TestRun:
     def test_warmup_excluded_from_metrics(self):
         fe = FrontEnd(make_baseline_hybrid(), JRSEstimator())
         trace = two_branch_trace(50)
-        full = fe.run(trace)
+        full = fe.replay(trace)
         assert full.branches == len(trace)
         fe2 = FrontEnd(make_baseline_hybrid(), JRSEstimator())
-        warm = fe2.run(trace, warmup=60)
+        warm = fe2.replay(trace, warmup=60)
         assert warm.branches == len(trace) - 60
 
     def test_negative_warmup_rejected(self):
         fe = FrontEnd(AlwaysTakenPredictor(), AlwaysHighEstimator())
         with pytest.raises(ValueError):
-            fe.run(two_branch_trace(), warmup=-1)
+            fe.replay(two_branch_trace(), warmup=-1)
 
     def test_always_high_estimator_never_flags(self, simple_trace):
         fe = FrontEnd(make_baseline_hybrid(), AlwaysHighEstimator())
-        result = fe.run(simple_trace)
+        result = fe.replay(simple_trace)
         assert result.metrics.overall.flagged_low == 0
         assert result.metrics.overall.spec == 0.0
 
     def test_continue_aggregation(self):
         fe = FrontEnd(AlwaysTakenPredictor(), AlwaysHighEstimator())
-        first = fe.run(two_branch_trace(10))
-        combined = fe.run(two_branch_trace(10), result=first)
+        first = fe.replay(two_branch_trace(10))
+        combined = fe.replay(two_branch_trace(10), result=first)
         assert combined.branches == 40
 
     def test_collect_outputs(self, simple_trace):
@@ -82,7 +82,7 @@ class TestRun:
             PerceptronConfidenceEstimator(),
             collect_outputs=True,
         )
-        result = fe.run(simple_trace, warmup=500)
+        result = fe.replay(simple_trace, warmup=500)
         total = len(result.outputs_correct) + len(result.outputs_mispredicted)
         assert total == result.branches
 
@@ -101,7 +101,7 @@ class TestReversalAccounting:
         fe = FrontEnd(
             AlwaysTakenPredictor(), AlwaysStrongLow(), ThreeRegionPolicy()
         )
-        result = fe.run(two_branch_trace(50))
+        result = fe.replay(two_branch_trace(50))
         assert result.reversals == 100
         # taken branches were predicted correctly -> broken by reversal;
         # not-taken branches were mispredicted -> fixed.

@@ -25,32 +25,32 @@ class TestPaperClaimShapes:
 
     def test_perceptron_more_accurate_than_jrs(self, gzip_trace):
         """Headline: perceptron PVN is a multiple of JRS PVN (Table 3)."""
-        jrs = FrontEnd(make_baseline_hybrid(), JRSEstimator(threshold=7)).run(
+        jrs = FrontEnd(make_baseline_hybrid(), JRSEstimator(threshold=7)).replay(
             gzip_trace, warmup=WARM
         )
         perc = FrontEnd(
             make_baseline_hybrid(), PerceptronConfidenceEstimator(threshold=0)
-        ).run(gzip_trace, warmup=WARM)
+        ).replay(gzip_trace, warmup=WARM)
         assert perc.metrics.overall.pvn > 1.5 * jrs.metrics.overall.pvn
 
     def test_jrs_has_higher_coverage(self, gzip_trace):
         """JRS trades accuracy for coverage (Table 3)."""
-        jrs = FrontEnd(make_baseline_hybrid(), JRSEstimator(threshold=7)).run(
+        jrs = FrontEnd(make_baseline_hybrid(), JRSEstimator(threshold=7)).replay(
             gzip_trace, warmup=WARM
         )
         perc = FrontEnd(
             make_baseline_hybrid(), PerceptronConfidenceEstimator(threshold=0)
-        ).run(gzip_trace, warmup=WARM)
+        ).replay(gzip_trace, warmup=WARM)
         assert jrs.metrics.overall.spec > perc.metrics.overall.spec
 
     def test_perceptron_threshold_tradeoff(self, gzip_trace):
         """Lowering lambda buys coverage and costs accuracy (Table 3)."""
         tight = FrontEnd(
             make_baseline_hybrid(), PerceptronConfidenceEstimator(threshold=25)
-        ).run(gzip_trace, warmup=WARM)
+        ).replay(gzip_trace, warmup=WARM)
         loose = FrontEnd(
             make_baseline_hybrid(), PerceptronConfidenceEstimator(threshold=-50)
-        ).run(gzip_trace, warmup=WARM)
+        ).replay(gzip_trace, warmup=WARM)
         assert loose.metrics.overall.spec > tight.metrics.overall.spec
 
     def test_deep_pipe_wastes_more_than_shallow(self, gzip_trace):
@@ -144,7 +144,7 @@ class TestPaperClaimShapes:
         cic = FrontEnd(
             make_baseline_hybrid(),
             PerceptronConfidenceEstimator(threshold=0, mode="cic"),
-        ).run(gcc_trace, warmup=WARM)
+        ).replay(gcc_trace, warmup=WARM)
         cic_m = cic.metrics.overall
 
         # Find a tnt threshold with at least cic's coverage.
@@ -153,7 +153,7 @@ class TestPaperClaimShapes:
             tnt = FrontEnd(
                 make_baseline_hybrid(),
                 PerceptronConfidenceEstimator(threshold=thr, mode="tnt"),
-            ).run(gcc_trace, warmup=WARM)
+            ).replay(gcc_trace, warmup=WARM)
             tnt_m = tnt.metrics.overall
             if tnt_m.spec >= cic_m.spec:
                 break

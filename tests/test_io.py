@@ -68,6 +68,57 @@ class TestBinaryFormat:
         assert load_trace(path).seed is None
 
 
+class TestEdgeCases:
+    """Regression coverage for boundary payloads in both formats."""
+
+    @pytest.mark.parametrize("ext", [".btrace", ".npz"])
+    def test_zero_length_roundtrip(self, tmp_path, ext):
+        path = str(tmp_path / f"empty{ext}")
+        save_trace(Trace([], name="empty", seed=5), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+        assert loaded.seed == 5
+
+    @pytest.mark.parametrize("ext", [".btrace", ".npz"])
+    def test_oversized_pc_roundtrip(self, tmp_path, ext):
+        """pcs beyond uint64 must survive (binary uses the hex column)."""
+        wide = Trace(
+            [
+                BranchRecord(pc=(1 << 80) + 12, taken=True, uops_before=1),
+                BranchRecord(pc=0x400000, taken=False, uops_before=2),
+            ],
+            name="wide",
+            seed=1,
+        )
+        path = str(tmp_path / f"wide{ext}")
+        save_trace(wide, path)
+        assert_traces_equal(wide, load_trace(path))
+
+    def test_oversized_pc_uses_hex_column(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "wide.npz")
+        save_trace(
+            Trace([BranchRecord(pc=1 << 70, taken=True)], name="w"), path
+        )
+        with np.load(path, allow_pickle=False) as data:
+            assert "pcs_hex" in data.files
+            assert "pcs" not in data.files
+
+    def test_uint64_boundary_pc_stays_in_integer_column(self, tmp_path):
+        import numpy as np
+
+        boundary = (1 << 64) - 1
+        path = str(tmp_path / "b.npz")
+        save_trace(
+            Trace([BranchRecord(pc=boundary, taken=True)], name="b"), path
+        )
+        with np.load(path, allow_pickle=False) as data:
+            assert "pcs" in data.files
+        assert load_trace(path)[0].pc == boundary
+
+
 class TestFormatDetection:
     def test_unknown_extension_rejected(self):
         with pytest.raises(ValueError, match="extension"):

@@ -102,7 +102,7 @@ class TestBehaviorOnStreams:
         from repro.predictors.hybrid import make_baseline_hybrid
 
         frontend = FrontEnd(make_baseline_hybrid(), JRSEstimator(threshold=7))
-        result = frontend.run(simple_trace, warmup=1500)
+        result = frontend.replay(simple_trace, warmup=1500)
         matrix = result.metrics.overall
         assert matrix.spec > 0.6
         assert matrix.pvn < 0.5

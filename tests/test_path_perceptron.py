@@ -88,7 +88,7 @@ class TestLearning:
 class TestOnBenchmark:
     def test_separates_on_gzip(self, gzip_trace):
         est = PathPerceptronConfidenceEstimator()
-        result = FrontEnd(make_baseline_hybrid(), est).run(
+        result = FrontEnd(make_baseline_hybrid(), est).replay(
             gzip_trace, warmup=4000
         )
         matrix = result.metrics.overall

@@ -1,0 +1,233 @@
+"""Segmented streaming execution at the engine layer.
+
+Covers the executor chain (:func:`repro.engine.segmented.replay_segmented`),
+its integration with :class:`repro.engine.Engine` (``segment_size`` jobs,
+:meth:`Engine.stream`), the segment cache's prefix-reuse behaviour
+(observed through telemetry counters), the peak-memory contract of
+streaming, and the deprecation shim on the old whole-trace entry point.
+
+``SimJob.fingerprint`` deliberately excludes ``segment_size`` (it is an
+execution knob, not an outcome input), so tests that re-run the same
+logical job with different segmentation must clear the engine's
+job-level replay cache first -- otherwise the cached monolithic outcome
+is served and segmentation is never exercised.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro import telemetry
+from repro.core.frontend import FrontEnd, FrontEndResult, aggregate_event
+from repro.engine import (
+    Engine,
+    ReplayCheckpoint,
+    SimJob,
+    canonical_metrics,
+    replay_segmented,
+    segment_fingerprint,
+)
+from repro.engine.cache import SegmentCache
+from repro.verify.matrix import CASES
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _job(case, **overrides):
+    base = dict(
+        benchmark="gzip",
+        n_branches=4000,
+        warmup=1000,
+        seed=5,
+        predictor=case.predictor,
+        estimator=case.estimator,
+        policy=case.policy,
+    )
+    base.update(overrides)
+    return SimJob(**base)
+
+
+class TestReplayCheckpoint:
+    def test_initial(self):
+        cp = ReplayCheckpoint.initial()
+        assert cp.position == 0
+        assert cp.predictor_state is None
+        assert cp.estimator_state is None
+        assert cp.history_bits == 0
+        assert cp.path == ()
+
+    def test_digest_distinguishes_state(self):
+        a = ReplayCheckpoint.initial()
+        b = ReplayCheckpoint(1, None, None, 1, (0x40,))
+        assert a.digest != b.digest
+        assert a.digest == ReplayCheckpoint.initial().digest
+
+    def test_segment_fingerprint_chains_on_incoming_digest(self):
+        job = _job(CASES[0])
+        d0 = ReplayCheckpoint.initial().digest
+        fp_a = segment_fingerprint(job, 0, 1000, d0)
+        fp_b = segment_fingerprint(job, 0, 1000, "different")
+        assert fp_a != fp_b
+        # n_branches/warmup are execution-window knobs, not segment
+        # content: a longer job shares the prefix segment addresses.
+        longer = _job(CASES[0], n_branches=8000, warmup=0)
+        assert segment_fingerprint(longer, 0, 1000, d0) == fp_a
+
+
+class TestSegmentedEquivalence:
+    def test_job_validates_segment_size(self):
+        with pytest.raises(ValueError):
+            _job(CASES[0], segment_size=0)
+
+    @pytest.mark.parametrize("segment_size", [997, 1000, 4096])
+    def test_reference_backend_matches_monolithic(self, segment_size):
+        engine = Engine()
+        job = _job(CASES[1])  # jrs-l7 with gating
+        mono = engine.replay(job)
+        engine._replays.clear()  # same fingerprint: force real execution
+        seg = engine.replay(job.with_(segment_size=segment_size))
+        assert seg.events == mono.events
+        assert canonical_metrics(seg.result) == canonical_metrics(mono.result)
+        assert seg.backend == "reference"
+
+    def test_fast_backend_matches_monolithic(self):
+        engine = Engine()
+        job = _job(CASES[3], backend="fast")  # perceptron-cic-l0
+        mono = engine.replay(job)
+        engine._replays.clear()
+        seg = engine.replay(job.with_(segment_size=997))
+        assert seg.events == mono.events
+        assert canonical_metrics(seg.result) == canonical_metrics(mono.result)
+        assert seg.backend == "fast"
+
+    def test_final_checkpoint_matches_live_frontend(self):
+        case = CASES[1]
+        engine = Engine()
+        trace = engine.trace("gzip", 4000, seed=5)
+        job = _job(case, segment_size=1000)
+        _, checkpoint = replay_segmented(job, trace, cache=SegmentCache())
+
+        frontend = FrontEnd(
+            case.predictor.build(), case.estimator.build(), case.policy.build()
+        )
+        for record in trace:
+            frontend.process(record)
+        assert checkpoint.position == 4000
+        assert checkpoint.predictor_state == frontend.predictor.checkpoint()
+        assert checkpoint.estimator_state == frontend.estimator.checkpoint()
+
+
+class TestPrefixReuse:
+    def test_extending_a_trace_replays_only_dirty_segments(self):
+        """The headline incremental-replay property, seen via telemetry.
+
+        A 4000-branch job is replayed segmented (4 misses), then the
+        *same configuration* is re-run for 5000 branches: the four
+        prefix segments hit the cache and only the new fifth segment
+        executes.
+        """
+        telemetry.enable()
+        tel = telemetry.get_registry()
+        engine = Engine()
+
+        job = _job(CASES[1], segment_size=1000)
+        engine.replay(job)
+        assert tel.counter("cache_segment_misses_total").value == 4
+        assert tel.counter("cache_segment_hits_total", tier="memory").value == 0
+
+        engine._replays.clear()
+        engine.replay(job.with_(n_branches=5000))
+        assert tel.counter("cache_segment_misses_total").value == 5
+        assert tel.counter("cache_segment_hits_total", tier="memory").value == 4
+        # Exactly five distinct segments were ever executed.
+        assert (
+            tel.counter("engine_segments_total", backend="reference").value == 5
+        )
+
+    def test_late_config_change_reuses_shared_prefix_nothing_more(self):
+        """Different estimator => different chain from segment 0."""
+        telemetry.enable()
+        tel = telemetry.get_registry()
+        engine = Engine()
+
+        engine.replay(_job(CASES[1], segment_size=1000))
+        misses_before = tel.counter("cache_segment_misses_total").value
+        engine.replay(_job(CASES[2], segment_size=1000))  # enhanced jrs
+        assert (
+            tel.counter("cache_segment_misses_total").value
+            == misses_before + 4
+        )
+        assert tel.counter("cache_segment_hits_total", tier="memory").value == 0
+
+    def test_warmup_change_is_fully_cached(self):
+        """Warm-up applies at merge time: no segment re-executes."""
+        telemetry.enable()
+        tel = telemetry.get_registry()
+        engine = Engine()
+
+        job = _job(CASES[1], segment_size=1000)
+        full = engine.replay(job)
+        engine._replays.clear()
+        rewarmed = engine.replay(job.with_(warmup=2000))
+        assert tel.counter("cache_segment_misses_total").value == 4
+        assert tel.counter("cache_segment_hits_total", tier="memory").value == 4
+        assert rewarmed.events == full.events[1000:]
+
+
+class TestEngineStream:
+    def test_stream_matches_monolithic_metrics(self):
+        engine = Engine()
+        job = _job(CASES[1])
+        mono = engine.replay(job)
+        streamed = engine.stream(job, segment_size=700)
+        assert isinstance(streamed, FrontEndResult)
+        assert canonical_metrics(streamed) == canonical_metrics(mono.result)
+
+    def test_stream_peak_memory_stays_bounded(self):
+        """tracemalloc guard: streaming must not scale with trace length.
+
+        The monolithic path materializes the whole trace and its event
+        list; the stream path holds one segment of records plus
+        accumulators.  Requiring a 3x gap keeps the guard robust while
+        still failing loudly if someone materializes the stream.
+        """
+        engine = Engine()
+        job = _job(CASES[0], n_branches=30_000, warmup=0)
+
+        tracemalloc.start()
+        engine.replay(job)
+        _, replay_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        streaming_engine = Engine()  # fresh caches: no shared trace
+        tracemalloc.start()
+        streaming_engine.stream(job, segment_size=1000)
+        _, stream_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        assert stream_peak * 3 < replay_peak, (
+            f"stream peak {stream_peak} vs monolithic {replay_peak}"
+        )
+
+
+class TestDeprecatedRun:
+    def test_frontend_run_warns_and_delegates(self, simple_trace):
+        case = CASES[0]
+        shim = FrontEnd(
+            case.predictor.build(), case.estimator.build(), case.policy.build()
+        )
+        with pytest.warns(DeprecationWarning, match="FrontEnd.run"):
+            shimmed = shim.run(simple_trace.slice(0, 500), warmup=100)
+
+        direct = FrontEnd(
+            case.predictor.build(), case.estimator.build(), case.policy.build()
+        )
+        replayed = direct.replay(simple_trace.slice(0, 500), warmup=100)
+        assert canonical_metrics(shimmed) == canonical_metrics(replayed)

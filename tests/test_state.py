@@ -77,7 +77,7 @@ class TestEstimatorPersistence:
         from repro.predictors.hybrid import make_baseline_hybrid
 
         est = PerceptronConfidenceEstimator(threshold=0)
-        FrontEnd(make_baseline_hybrid(), est).run(simple_trace.slice(0, 2000))
+        FrontEnd(make_baseline_hybrid(), est).replay(simple_trace.slice(0, 2000))
         return est
 
     def test_perceptron_estimator_roundtrip(self, tmp_path, simple_trace):

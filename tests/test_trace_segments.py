@@ -1,0 +1,111 @@
+"""Segment iteration, the on-disk segment format, and record streams."""
+
+import pytest
+
+from repro.trace.benchmarks import benchmark_record_stream, generate_benchmark_trace
+from repro.trace.generator import TraceGenerator
+from repro.trace.record import BranchRecord, Trace
+from repro.trace.segments import (
+    SegmentedTrace,
+    iter_record_segments,
+    save_segmented,
+    segment_bounds,
+)
+from tests.conftest import make_simple_workload
+
+
+class TestSegmentBounds:
+    def test_exact_division(self):
+        assert segment_bounds(10, 5) == [(0, 5), (5, 10)]
+
+    def test_short_final_segment(self):
+        assert segment_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_oversized_segment(self):
+        assert segment_bounds(3, 100) == [(0, 3)]
+
+    def test_size_one(self):
+        assert segment_bounds(3, 1) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_branches(self):
+        assert segment_bounds(0, 8) == []
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            segment_bounds(10, 0)
+        with pytest.raises(ValueError):
+            segment_bounds(-1, 5)
+
+
+class TestIterRecordSegments:
+    def test_covers_stream_in_order(self, simple_trace):
+        segments = list(iter_record_segments(simple_trace, 1000))
+        assert [len(s) for s in segments] == [1000, 1000, 1000, 1000]
+        flat = [r for seg in segments for r in seg]
+        assert flat == list(simple_trace)
+
+    def test_lazy_on_unbounded_stream(self):
+        def endless():
+            pc = 0x1000
+            while True:
+                yield BranchRecord(pc=pc, taken=True, uops_before=1)
+
+        it = iter_record_segments(endless(), 7)
+        first = next(it)
+        assert len(first) == 7  # pulled exactly one segment, no hang
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            next(iter_record_segments([], 0))
+
+
+class TestSegmentedTraceFormat:
+    def test_roundtrip(self, tmp_path, simple_trace):
+        directory = str(tmp_path / "seg")
+        seg = save_segmented(simple_trace, directory, segment_size=1500)
+        assert seg.n_branches == len(simple_trace)
+        assert seg.n_segments == 3
+        assert seg.bounds(0) == (0, 1500)
+        assert seg.bounds(2) == (3000, 4000)
+        assert list(seg.iter_records()) == list(simple_trace)
+        loaded = seg.load()
+        assert loaded.name == simple_trace.name
+        assert loaded.seed == simple_trace.seed
+
+    def test_reopen_reads_only_index(self, tmp_path, simple_trace):
+        directory = str(tmp_path / "seg")
+        save_segmented(simple_trace, directory, segment_size=1000)
+        reopened = SegmentedTrace(directory)
+        assert len(reopened) == len(simple_trace)
+        assert reopened.segment(1)[0] == simple_trace[1000]
+
+    def test_n_branches_bounds_unbounded_stream(self, tmp_path):
+        spec = make_simple_workload()
+        stream = TraceGenerator(spec, seed=9).iter_records()
+        seg = save_segmented(
+            stream, str(tmp_path / "seg"), segment_size=64, n_branches=200
+        )
+        assert seg.n_branches == 200
+        assert [seg.bounds(i) for i in range(seg.n_segments)] == [
+            (0, 64), (64, 128), (128, 192), (192, 200),
+        ]
+
+    def test_missing_index_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SegmentedTrace(str(tmp_path))
+
+
+class TestBenchmarkRecordStream:
+    def test_prefix_matches_materialized_trace(self):
+        from itertools import islice
+
+        trace = generate_benchmark_trace("gzip", n_branches=500, seed=11)
+        stream = list(islice(benchmark_record_stream("gzip", seed=11), 500))
+        assert stream == list(trace)
+
+    def test_distinct_seeds_diverge(self):
+        from itertools import islice
+
+        a = list(islice(benchmark_record_stream("gzip", seed=1), 300))
+        b = list(islice(benchmark_record_stream("gzip", seed=2), 300))
+        assert a != b
