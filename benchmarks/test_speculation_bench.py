@@ -1,0 +1,100 @@
+"""Speculative shard scheduling benchmark: the warm re-run speedup guard.
+
+A warm re-run -- same configuration, chain record present, event cache
+cold -- is the case speculation exists for: every guess validates and
+the segments replay in parallel.  This guard times exactly that against
+the sequential chain on the same cleared cache and fails tier 2 CI if
+the fan-out stops paying for itself.
+
+The floor is 2x on a 4-shard re-run -- well below the ideal 4x so pool
+start-up, shard pickling and scheduler noise on shared runners cannot
+flake it, but far above anything a broken (serialised or
+storm-aborting) scheduler can reach.  Boxes with fewer than 4 CPUs
+skip: there is no parallelism to measure.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import (
+    EstimatorSpec,
+    SequentialChain,
+    SimJob,
+    SpeculativeShardScheduler,
+    canonical_metrics,
+    replay_segmented,
+)
+from repro.engine.cache import SegmentCache
+from repro.trace.benchmarks import generate_benchmark_trace
+
+N_BRANCHES = 48_000
+SHARDS = 4
+
+
+def _job():
+    # A deliberately compute-heavy estimator (long path-perceptron dot
+    # product per branch): shard execution must dominate the fixed
+    # costs speculation adds (pool start-up, record/event pickling at
+    # the joins), or the measured ratio reflects serialization rates
+    # rather than scheduling.
+    return SimJob(
+        benchmark="gzip",
+        n_branches=N_BRANCHES,
+        warmup=0,
+        seed=3,
+        estimator=EstimatorSpec.of(
+            "path_perceptron", history_length=64, table_entries=1024
+        ),
+        collect_outputs=True,
+        segment_size=N_BRANCHES // SHARDS,
+    )
+
+
+def test_speculative_warm_rerun_speedup():
+    if (os.cpu_count() or 1) < SHARDS:
+        pytest.skip(f"shard fan-out needs >= {SHARDS} CPUs")
+    trace = generate_benchmark_trace("gzip", n_branches=N_BRANCHES, seed=3)
+    job = _job()
+    cache = SegmentCache()
+
+    # Cold sequential run: establishes the oracle and records the chain
+    # whose checkpoints seed the speculative guesses below.
+    baseline, _ = replay_segmented(
+        job, trace, cache=cache, scheduler=SequentialChain()
+    )
+
+    cache.clear()  # events gone, chain survives
+    start = time.perf_counter()
+    sequential, _ = replay_segmented(
+        job, trace, cache=cache, scheduler=SequentialChain()
+    )
+    sequential_seconds = time.perf_counter() - start
+
+    cache.clear()
+    start = time.perf_counter()
+    speculative, _ = replay_segmented(
+        job,
+        trace,
+        cache=cache,
+        scheduler=SpeculativeShardScheduler(max_workers=SHARDS),
+    )
+    speculative_seconds = time.perf_counter() - start
+
+    assert speculative.events == sequential.events == baseline.events
+    assert canonical_metrics(speculative.result) == canonical_metrics(
+        sequential.result
+    )
+
+    ratio = sequential_seconds / speculative_seconds
+    print(
+        f"\nspeculative warm re-run speedup: {ratio:.1f}x "
+        f"({sequential_seconds:.2f}s sequential vs "
+        f"{speculative_seconds:.2f}s speculative, {SHARDS} shards)"
+    )
+    assert ratio >= 2.0, (
+        f"speculative warm re-run is no longer measurably faster: "
+        f"{ratio:.2f}x ({sequential_seconds:.2f}s sequential vs "
+        f"{speculative_seconds:.2f}s speculative)"
+    )

@@ -19,9 +19,17 @@ from repro.engine.engine import (
 )
 from repro.engine.job import ReplayOutcome, SimJob
 from repro.engine.segmented import (
+    ChainGuessProvider,
+    ChainRecord,
+    CorruptingGuessProvider,
+    GuessProvider,
     ReplayCheckpoint,
+    SegmentPlan,
+    SequentialChain,
+    SpeculativeShardScheduler,
     replay_segmented,
     segment_fingerprint,
+    select_scheduler,
 )
 from repro.engine.specs import (
     ALWAYS_HIGH,
@@ -40,10 +48,14 @@ __all__ = [
     "ALWAYS_HIGH",
     "BASELINE_PREDICTOR",
     "CacheStats",
+    "ChainGuessProvider",
+    "ChainRecord",
+    "CorruptingGuessProvider",
     "Engine",
     "EngineStats",
     "EstimatorSpec",
     "GATING_POLICY",
+    "GuessProvider",
     "METRICS_SCHEMA",
     "NO_POLICY",
     "PolicySpec",
@@ -52,9 +64,12 @@ __all__ = [
     "ReplayCheckpoint",
     "ReplayOutcome",
     "SegmentCache",
+    "SegmentPlan",
+    "SequentialChain",
     "SimJob",
     "Spec",
     "SpecError",
+    "SpeculativeShardScheduler",
     "THREE_REGION_POLICY",
     "TraceCache",
     "canonical_metrics",
@@ -64,4 +79,5 @@ __all__ = [
     "metrics_digest",
     "replay_segmented",
     "segment_fingerprint",
+    "select_scheduler",
 ]

@@ -14,7 +14,18 @@ Two caches back the engine:
 - :class:`SegmentCache` -- segment fingerprint -> (events, checkpoint)
   for the segmented execution path (see :mod:`repro.engine.segmented`):
   one entry per replayed trace segment, so re-running a job after a
-  suffix-only change replays only the dirty segments.
+  suffix-only change replays only the dirty segments.  It also stores
+  tiny *chain records* (per-configuration checkpoint chains keyed by
+  chain key) that seed the speculative scheduler's guesses; chains
+  survive :meth:`SegmentCache.clear` and disk eviction, because losing
+  them only costs speed on the next warm re-run, while keeping them is
+  what makes a warm re-run embarrassingly parallel even after the bulky
+  event entries are gone.
+
+The segment cache's disk tier can be bounded (``disk_budget_bytes``):
+when the segment ``.pkl`` files exceed the budget, the least recently
+*used* entries are unlinked (reads touch mtime, so recency tracks use,
+not creation), counted in ``cache_segment_disk_evictions_total``.
 
 All expose monotonic counters; :class:`CacheStats` snapshots support
 per-experiment deltas in the run summary.
@@ -252,21 +263,37 @@ class SegmentCache:
     :class:`~repro.engine.segmented.ReplayCheckpoint` at the segment's
     end, which chains into the next segment's fingerprint.  The disk
     layer lives under ``<dir>/segments/`` so it can share a cache
-    directory with :class:`ReplayCache` without key collisions.
+    directory with :class:`ReplayCache` without key collisions; chain
+    records live under ``<dir>/segments/chains/`` and are exempt from
+    the disk budget (they are a few KB and seed speculation guesses).
     """
 
     def __init__(
         self,
         event_budget: int = DEFAULT_EVENT_BUDGET,
         disk_dir: Optional[str] = None,
+        disk_budget_bytes: Optional[int] = None,
     ):
+        if disk_budget_bytes is not None and disk_budget_bytes <= 0:
+            raise ValueError(
+                f"disk_budget_bytes must be None or positive, "
+                f"got {disk_budget_bytes}"
+            )
         self._lru = _LruBudget(event_budget)
         self.disk_dir = disk_dir
+        self.disk_budget_bytes = disk_budget_bytes
         self.stats = CacheStats()
+        self.disk_evictions = 0
+        self._chains: dict = {}
 
     def _disk_path(self, fingerprint: str) -> str:
         return os.path.join(
             self.disk_dir, "segments", fingerprint[:2], fingerprint + ".pkl"
+        )
+
+    def _chain_path(self, chain_key: str) -> str:
+        return os.path.join(
+            self.disk_dir, "segments", "chains", chain_key + ".pkl"
         )
 
     def get(self, fingerprint: str):
@@ -311,6 +338,12 @@ class SegmentCache:
                     self.stats.disk_hits += 1
                     if tel.enabled:
                         tel.counter("cache_segment_hits_total", tier="disk").inc()
+                    try:
+                        # Touch: disk eviction is least-recently-USED,
+                        # so reads must refresh recency.
+                        os.utime(path)
+                    except OSError:
+                        pass
                     entry = (events, checkpoint)
                     self._lru.put(fingerprint, entry, cost=max(1, len(events)))
                     self._note_evictions(tel)
@@ -350,9 +383,122 @@ class SegmentCache:
                     if os.path.exists(tmp):
                         os.unlink(tmp)
                     raise
+                self._enforce_disk_budget()
+
+    def _segment_files(self):
+        """Yield ``(mtime, size, path)`` for every on-disk segment entry.
+
+        Chain records (``segments/chains/``) are excluded: they are not
+        part of the budgeted payload.
+        """
+        base = os.path.join(self.disk_dir, "segments")
+        try:
+            shards = os.listdir(base)
+        except OSError:
+            return
+        for shard in shards:
+            if shard == "chains":
+                continue
+            shard_dir = os.path.join(base, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for filename in os.listdir(shard_dir):
+                if not filename.endswith(".pkl"):
+                    continue
+                path = os.path.join(shard_dir, filename)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                yield st.st_mtime, st.st_size, path
+
+    def _enforce_disk_budget(self) -> None:
+        """Unlink least-recently-used segment files past the byte budget."""
+        if self.disk_budget_bytes is None:
+            return
+        files = sorted(self._segment_files())
+        total = sum(size for _, size, _ in files)
+        evicted = 0
+        for _, size, path in files:
+            if total <= self.disk_budget_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            self.disk_evictions += evicted
+            tel = telemetry.get_registry()
+            if tel.enabled:
+                tel.counter("cache_segment_disk_evictions_total").inc(evicted)
+
+    def get_chain(self, chain_key: str):
+        """The recorded chain for ``chain_key``, or ``None``.
+
+        Chain records are opaque to the cache (the scheduler owns the
+        type); an unreadable disk record is dropped and treated as a
+        miss -- chains only seed guesses, so losing one is always safe.
+        """
+        record = self._chains.get(chain_key)
+        if record is not None:
+            return record
+        if self.disk_dir is not None:
+            path = self._chain_path(chain_key)
+            try:
+                fh = open(path, "rb")
+            except OSError:
+                return None
+            try:
+                with fh:
+                    record = pickle.load(fh)
+            except Exception as exc:
+                telemetry.log_event(
+                    "cache.corrupt_entry",
+                    level=logging.WARNING,
+                    message="segment cache: dropping corrupt chain record",
+                    logger=logger,
+                    path=path,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                return None
+            self._chains[chain_key] = record
+            return record
+        return None
+
+    def put_chain(self, chain_key: str, record) -> None:
+        """Store (and overwrite) the chain record for ``chain_key``.
+
+        Unlike segment entries, chains legitimately change content under
+        the same key (a longer run extends the chain), so the disk copy
+        is always rewritten -- atomically, last writer wins.
+        """
+        self._chains[chain_key] = record
+        if self.disk_dir is not None:
+            path = self._chain_path(chain_key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
 
     def clear(self) -> None:
-        """Drop in-memory entries (the disk layer is left alone)."""
+        """Drop in-memory segment entries.
+
+        The disk tier and the chain records survive: chains are the
+        guess seeds that make the *next* run's speculation profitable
+        precisely when the bulky event entries are gone.
+        """
         self._lru.clear()
 
     def __len__(self) -> int:
@@ -365,11 +511,41 @@ class SegmentCache:
 
 
 class TraceCache:
-    """(name, n_branches, seed) -> trace, LRU by total branches."""
+    """(name, n_branches, seed) -> trace, LRU by total branches.
+
+    Besides generator benchmark names, the cache resolves ``segtrace:``
+    tokens (``segtrace:<digest16>:<path>``, from
+    :meth:`~repro.trace.segments.SegmentedTrace.job_token`): the
+    directory is opened lazily, its content digest checked against the
+    token, and a length-limited view returned -- recorded on-disk
+    traces flow through the engine without materializing any records
+    up front, so they cost the LRU almost nothing.
+    """
 
     def __init__(self, branch_budget: int = DEFAULT_TRACE_BUDGET):
         self._lru = _LruBudget(branch_budget)
         self.stats = CacheStats()
+
+    @staticmethod
+    def _open_segmented(token: str, n_branches: int):
+        from repro.trace.segments import SegmentedTrace
+
+        _, digest, path = token.split(":", 2)
+        trace = SegmentedTrace(path)
+        if digest and not trace.content_digest.startswith(digest):
+            raise ValueError(
+                f"{path}: recorded trace content does not match the job's "
+                f"token (expected digest {digest}..., found "
+                f"{trace.content_digest[:len(digest)]}...)"
+            )
+        if n_branches > len(trace):
+            raise ValueError(
+                f"{path}: job wants {n_branches} branches, recorded trace "
+                f"holds {len(trace)}"
+            )
+        if n_branches == len(trace):
+            return trace
+        return trace.prefix(n_branches)
 
     def get(self, name: str, n_branches: int, seed: int):
         tel = telemetry.get_registry()
@@ -380,13 +556,22 @@ class TraceCache:
             if tel.enabled:
                 tel.counter("cache_trace_hits_total").inc()
             return trace
-        from repro.trace.benchmarks import generate_benchmark_trace
 
         self.stats.misses += 1
         if tel.enabled:
             tel.counter("cache_trace_misses_total").inc()
-        trace = generate_benchmark_trace(name, n_branches=n_branches, seed=seed)
-        self._lru.put(key, trace, cost=max(1, n_branches))
+        if name.startswith("segtrace:"):
+            # Lazy reader: holds index metadata only, records load per
+            # access, so it costs the branch budget next to nothing.
+            trace = self._open_segmented(name, n_branches)
+            self._lru.put(key, trace, cost=1)
+        else:
+            from repro.trace.benchmarks import generate_benchmark_trace
+
+            trace = generate_benchmark_trace(
+                name, n_branches=n_branches, seed=seed
+            )
+            self._lru.put(key, trace, cost=max(1, n_branches))
         self.stats.evictions = self._lru.evictions
         return trace
 

@@ -29,7 +29,7 @@ from repro.engine.cache import (
     SegmentCache,
     TraceCache,
 )
-from repro.engine.job import ReplayOutcome, SimJob
+from repro.engine.job import SPECULATION_MODES, ReplayOutcome, SimJob
 
 __all__ = [
     "Engine",
@@ -40,7 +40,13 @@ __all__ = [
 ]
 
 
-def _replay_trace(job: SimJob, trace, segments=None) -> ReplayOutcome:
+def _replay_trace(
+    job: SimJob,
+    trace,
+    segments=None,
+    workers: int = 1,
+    speculation: str = "auto",
+) -> ReplayOutcome:
     """Replay a prepared trace through fresh spec-built components.
 
     Pure in the job description: no shared mutable state is read, which
@@ -54,7 +60,12 @@ def _replay_trace(job: SimJob, trace, segments=None) -> ReplayOutcome:
     Jobs with ``segment_size`` set replay as a checkpointed segment
     chain through ``segments`` (a
     :class:`~repro.engine.cache.SegmentCache`); the chain is
-    bit-identical to the monolithic pass below.
+    bit-identical to the monolithic pass below.  ``workers`` and
+    ``speculation`` reach the scheduler selection for such jobs: with
+    spare workers, speculation allowed, and a prior chain to guess
+    from, the chain fans out speculatively (see
+    :mod:`repro.engine.speculation`) -- a throughput knob only, never
+    an outcome knob.
     """
     from repro.core.frontend import FrontEnd, FrontEndResult
 
@@ -64,7 +75,9 @@ def _replay_trace(job: SimJob, trace, segments=None) -> ReplayOutcome:
     if job.segment_size is not None:
         from repro.engine.segmented import replay_segmented
 
-        outcome, _ = replay_segmented(job, trace, cache=segments)
+        outcome, _ = replay_segmented(
+            job, trace, cache=segments, workers=workers, speculation=speculation
+        )
         if tel.enabled:
             tel.counter("engine_replays_total", backend=outcome.backend).inc()
             tel.histogram(
@@ -205,6 +218,13 @@ class Engine:
         event_budget: In-memory replay cache size, in cached events.
         cache_dir: Enables the on-disk replay cache at this directory.
         trace_budget: Trace cache size, in total dynamic branches.
+        speculation: ``"auto"`` (default) lets a single segmented job
+            use the speculative shard scheduler when ``max_workers > 1``
+            and a prior chain record supplies guesses; ``"off"`` pins
+            the sequential chain engine-wide.
+        segment_disk_budget: Byte budget for the segment cache's disk
+            tier (least-recently-used ``.pkl`` entries are unlinked past
+            it); ``None`` leaves the tier unbounded.
     """
 
     def __init__(
@@ -213,12 +233,24 @@ class Engine:
         event_budget: int = DEFAULT_EVENT_BUDGET,
         cache_dir: Optional[str] = None,
         trace_budget: int = DEFAULT_TRACE_BUDGET,
+        speculation: str = "auto",
+        segment_disk_budget: Optional[int] = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if speculation not in SPECULATION_MODES:
+            raise ValueError(
+                f"speculation must be one of {SPECULATION_MODES}, "
+                f"got {speculation!r}"
+            )
         self.max_workers = max_workers
+        self.speculation = speculation
         self._replays = ReplayCache(event_budget, disk_dir=cache_dir)
-        self._segments = SegmentCache(event_budget, disk_dir=cache_dir)
+        self._segments = SegmentCache(
+            event_budget,
+            disk_dir=cache_dir,
+            disk_budget_bytes=segment_disk_budget,
+        )
         self._traces = TraceCache(trace_budget)
         self._executed = 0
         self._parallel_executed = 0
@@ -315,11 +347,16 @@ class Engine:
                             len(pending)
                         )
                 else:
+                    # In-process execution gets the full worker budget:
+                    # a lone segmented job can spend it on speculative
+                    # shard fan-out instead of job-level parallelism.
                     outcomes = [
                         _replay_trace(
                             job,
                             self.trace(*job.trace_key),
                             segments=self._segments,
+                            workers=workers,
+                            speculation=self.speculation,
                         )
                         for job in pending
                     ]
@@ -345,13 +382,19 @@ class Engine:
 
         ``segment_size`` overrides the pull granularity (default:
         ``job.segment_size`` or 8192); it only bounds memory, never
-        changes the result.  Runs the reference loop -- streaming
-        trades the fast backend's whole-trace vectorization for the
-        bounded footprint.
+        changes the result.
+
+        Jobs requesting ``backend="fast"`` drive each pulled segment
+        through :func:`repro.fastpath.driver.replay_segment`, rolling
+        the component states and history/path windows across segments
+        exactly like the segmented chain does -- so streaming keeps the
+        bounded footprint *and* the vectorized passes.  A mid-stream
+        runtime rejection hands the rolled states to a reference front
+        end and finishes there, bit-identically.
         """
         from itertools import islice
 
-        from repro.core.frontend import FrontEnd, FrontEndResult
+        from repro.core.frontend import FrontEnd, FrontEndResult, aggregate_event
         from repro.trace.benchmarks import benchmark_record_stream
         from repro.trace.segments import iter_record_segments
 
@@ -360,12 +403,20 @@ class Engine:
         with telemetry.trace_span(
             "engine.stream", job=job.benchmark, segment_size=size
         ):
-            frontend = FrontEnd(
-                job.predictor.build(),
-                job.estimator.build(),
-                job.policy.build(),
-                collect_outputs=job.collect_outputs,
-            )
+            use_fast = False
+            if job.backend == "fast":
+                from repro import fastpath
+
+                use_fast = fastpath.supports(job)
+                if not use_fast and tel.enabled:
+                    tel.counter(
+                        "fastpath_fallbacks_total",
+                        reason=fastpath.unsupported_reason(job) or "unknown",
+                    ).inc()
+            frontend = None
+            pred_state = est_state = None
+            history = 0
+            path = ()
             result = FrontEndResult()
             processed = 0
             records = islice(
@@ -373,6 +424,42 @@ class Engine:
                 job.n_branches,
             )
             for segment in iter_record_segments(records, size):
+                if use_fast:
+                    from repro import fastpath
+                    from repro.fastpath.driver import replay_segment
+
+                    try:
+                        events, pred_state, est_state, history, path = (
+                            replay_segment(
+                                job, segment, pred_state, est_state,
+                                history, path,
+                            )
+                        )
+                    except fastpath.FastPathUnsupported:
+                        if tel.enabled:
+                            tel.counter(
+                                "fastpath_fallbacks_total", reason="runtime"
+                            ).inc()
+                        use_fast = False
+                    else:
+                        for event in events[max(0, job.warmup - processed):]:
+                            aggregate_event(result, event, job.collect_outputs)
+                        processed += len(segment)
+                        if tel.enabled:
+                            tel.counter("engine_stream_segments_total").inc()
+                        continue
+                if frontend is None:
+                    frontend = FrontEnd(
+                        job.predictor.build(),
+                        job.estimator.build(),
+                        job.policy.build(),
+                        collect_outputs=job.collect_outputs,
+                    )
+                    if pred_state is not None:
+                        # Mid-stream hand-off: the fast prefix's rolled
+                        # states resume the reference loop exactly.
+                        frontend.predictor.restore(pred_state)
+                        frontend.estimator.restore(est_state)
                 frontend.replay(
                     segment,
                     warmup=max(0, job.warmup - processed),
@@ -409,6 +496,8 @@ def configure_engine(
     max_workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     event_budget: Optional[int] = None,
+    speculation: Optional[str] = None,
+    segment_disk_budget: Optional[int] = None,
     reset: bool = False,
 ) -> Engine:
     """Create or reconfigure the default engine.
@@ -423,6 +512,8 @@ def configure_engine(
             max_workers=max_workers or 1,
             event_budget=event_budget or DEFAULT_EVENT_BUDGET,
             cache_dir=cache_dir,
+            speculation=speculation or "auto",
+            segment_disk_budget=segment_disk_budget,
         )
         return _default_engine
     engine = _default_engine
@@ -430,10 +521,19 @@ def configure_engine(
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         engine.max_workers = max_workers
+    if speculation is not None:
+        if speculation not in SPECULATION_MODES:
+            raise ValueError(
+                f"speculation must be one of {SPECULATION_MODES}, "
+                f"got {speculation!r}"
+            )
+        engine.speculation = speculation
     if cache_dir is not None:
         engine._replays.disk_dir = cache_dir
         engine._segments.disk_dir = cache_dir
     if event_budget is not None:
         engine._replays._lru.budget = event_budget
         engine._segments._lru.budget = event_budget
+    if segment_disk_budget is not None:
+        engine._segments.disk_budget_bytes = segment_disk_budget
     return engine

@@ -1,0 +1,249 @@
+"""Segment planning and scheduler strategies for segmented replay.
+
+One :class:`~repro.engine.job.SimJob` with ``segment_size`` set becomes
+a :class:`SegmentPlan` -- the fixed ``[start, stop)`` bounds, the
+per-segment content addresses, and the *chain key* that identifies the
+job's checkpoint chain across runs (everything that determines segment
+content except the trace window, so re-runs and extensions of the same
+configuration share one chain identity).
+
+Two interchangeable strategies execute a plan:
+
+- :class:`~repro.engine.chain.SequentialChain` -- fold the segments in
+  order, segment k starting from segment k-1's outgoing checkpoint;
+- :class:`~repro.engine.speculation.SpeculativeShardScheduler` -- fan
+  the segments out to worker processes from *guessed* incoming
+  checkpoints (the previous run's chain record), validate outgoing
+  digests at every join, and abort mispredicted segments back to exact
+  sequential re-execution.
+
+Strategy choice is outcome-invariant by construction (validated by the
+``speculative`` verify layer): both produce bit-identical events,
+canonical metrics and final component states, so
+:func:`replay_segmented` picks purely on throughput grounds
+(``workers`` and the job's/engine's ``speculation`` knob).
+
+After any segmented replay the executed chain is recorded in the
+segment cache (:class:`ChainRecord`): the per-segment fingerprints and
+outgoing checkpoints keyed by :attr:`SegmentPlan.chain_key`.  The next
+run of the same configuration looks this record up to seed its guesses
+-- the guess/guard/abort structure the source paper applies to pipeline
+gating, applied to the simulator itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro import telemetry
+from repro.engine.chain import (
+    ReplayCheckpoint,
+    SequentialChain,
+    segment_fingerprint,
+)
+from repro.engine.job import FINGERPRINT_SCHEMA, ReplayOutcome, SimJob
+from repro.trace.segments import segment_bounds
+
+__all__ = [
+    "CHAIN_SCHEMA",
+    "ChainRecord",
+    "ChainRun",
+    "SegmentPlan",
+    "select_scheduler",
+    "replay_segmented",
+]
+
+#: Bump when the chain-record layout changes; stale records are ignored
+#: (they only seed guesses, so dropping them costs speed, never truth).
+CHAIN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """The fixed segmentation of one job: bounds plus identities."""
+
+    job: SimJob
+    bounds: Tuple[Tuple[int, int], ...]
+
+    @classmethod
+    def for_job(cls, job: SimJob) -> "SegmentPlan":
+        assert job.segment_size is not None
+        return cls(
+            job=job,
+            bounds=tuple(segment_bounds(job.n_branches, job.segment_size)),
+        )
+
+    def fingerprint(self, index: int, incoming_digest: str) -> str:
+        """Content address of segment ``index`` given its incoming digest."""
+        start, stop = self.bounds[index]
+        return segment_fingerprint(self.job, start, stop, incoming_digest)
+
+    @property
+    def chain_key(self) -> str:
+        """Identity of this configuration's checkpoint chain.
+
+        Everything that determines segment content and cut placement
+        *except* the trace window: ``n_branches`` is absent so a longer
+        re-run seeds its guesses from a shorter run's chain (generator
+        prefixes are length-stable), and ``warmup``/``collect_outputs``
+        are absent because they apply at merge time.
+        """
+        job = self.job
+        canonical = (
+            "chain",
+            FINGERPRINT_SCHEMA,
+            CHAIN_SCHEMA,
+            job.benchmark,
+            job.seed,
+            job.segment_size,
+            job.predictor.canonical(),
+            job.estimator.canonical(),
+            job.policy.canonical(),
+            job.backend,
+        )
+        return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ChainRecord:
+    """One executed chain, recorded for the next run's guesses.
+
+    ``checkpoints[k]`` is segment k's *outgoing* checkpoint (so the
+    guessed incoming state for a segment starting at position ``p`` is
+    the recorded checkpoint with ``position == p``), and
+    ``fingerprints[k]`` its content address -- used both for
+    prefix-extension comparisons and for dispatch-time cache probes.
+    """
+
+    schema: int
+    segment_size: int
+    fingerprints: Tuple[str, ...]
+    checkpoints: Tuple[ReplayCheckpoint, ...]
+
+    def extends(self, other: "ChainRecord") -> bool:
+        """True when ``self`` covers ``other`` as a strict-or-equal prefix."""
+        return (
+            self.segment_size == other.segment_size
+            and len(self.fingerprints) >= len(other.fingerprints)
+            and self.fingerprints[: len(other.fingerprints)]
+            == other.fingerprints
+        )
+
+    def checkpoint_at(self, position: int) -> Optional[ReplayCheckpoint]:
+        """The recorded checkpoint at trace ``position``, if any."""
+        # Uniform segmentation: outgoing positions are start + k*size
+        # except possibly the final short segment, so index directly.
+        if position <= 0 or self.segment_size <= 0:
+            return None
+        index, rem = divmod(position, self.segment_size)
+        if rem or index < 1 or index > len(self.checkpoints):
+            return None
+        checkpoint = self.checkpoints[index - 1]
+        return checkpoint if checkpoint.position == position else None
+
+
+@dataclass
+class ChainRun:
+    """What one strategy execution of a plan produces."""
+
+    events: List
+    final_checkpoint: ReplayCheckpoint
+    fingerprints: Tuple[str, ...]
+    checkpoints: Tuple[ReplayCheckpoint, ...]
+    fell_back: bool
+
+
+def select_scheduler(job: SimJob, workers: int = 1, speculation: str = "auto"):
+    """Pick the strategy for ``job`` on throughput grounds only.
+
+    Speculation needs spare workers to fan shards out to and must be
+    enabled by both the job and the caller (the engine's knob arrives
+    via ``speculation``); anything else runs the sequential chain.
+    """
+    if (
+        workers > 1
+        and speculation == "auto"
+        and job.speculation == "auto"
+        and len(segment_bounds(job.n_branches, job.segment_size or 1)) > 1
+    ):
+        from repro.engine.speculation import SpeculativeShardScheduler
+
+        return SpeculativeShardScheduler(max_workers=workers)
+    return SequentialChain()
+
+
+def record_chain(cache, plan: SegmentPlan, run: ChainRun) -> None:
+    """Store ``run``'s chain for the next run's guesses.
+
+    An existing record that already extends the new one (a longer run
+    of the same configuration) is kept -- a shorter re-run must not
+    clobber the guesses a future long run will want.
+    """
+    record = ChainRecord(
+        schema=CHAIN_SCHEMA,
+        segment_size=plan.job.segment_size,
+        fingerprints=run.fingerprints,
+        checkpoints=run.checkpoints,
+    )
+    existing = cache.get_chain(plan.chain_key)
+    if (
+        isinstance(existing, ChainRecord)
+        and existing.schema == CHAIN_SCHEMA
+        and existing.extends(record)
+    ):
+        return
+    cache.put_chain(plan.chain_key, record)
+
+
+def replay_segmented(
+    job: SimJob,
+    trace,
+    cache=None,
+    scheduler=None,
+    workers: int = 1,
+    speculation: str = "auto",
+) -> Tuple[ReplayOutcome, ReplayCheckpoint]:
+    """Replay ``job`` segment by segment through the segment cache.
+
+    Returns ``(outcome, final_checkpoint)``; the outcome is
+    bit-identical to the monolithic replay of the same job (events and
+    result cover the post-warm-up tail) whichever strategy ran, and the
+    final checkpoint carries the end-of-trace component states for
+    callers that chain further.  ``scheduler`` overrides strategy
+    selection (tests and the verify layers inject corrupting
+    configurations); otherwise :func:`select_scheduler` picks from
+    ``workers`` and the ``speculation`` knobs.
+    """
+    assert job.segment_size is not None
+    from repro.core.frontend import FrontEndResult, aggregate_event
+    from repro.engine.cache import SegmentCache
+
+    if cache is None:
+        # Cacheless fallback (e.g. an ad-hoc engine-less call): the
+        # chain still runs, it just cannot share prefixes across jobs.
+        cache = SegmentCache()
+    plan = SegmentPlan.for_job(job)
+    if scheduler is None:
+        scheduler = select_scheduler(job, workers, speculation)
+
+    with telemetry.trace_span(
+        "engine.segmented",
+        scheduler=getattr(scheduler, "name", type(scheduler).__name__),
+        segments=len(plan.bounds),
+    ):
+        run = scheduler.run(plan, trace, cache)
+    record_chain(cache, plan, run)
+
+    result = FrontEndResult()
+    events_tail = run.events[job.warmup:]
+    for event in events_tail:
+        aggregate_event(result, event, job.collect_outputs)
+    backend = (
+        "fast" if (job.backend == "fast" and not run.fell_back) else "reference"
+    )
+    return (
+        ReplayOutcome(events=events_tail, result=result, backend=backend),
+        run.final_checkpoint,
+    )

@@ -1,296 +1,55 @@
-"""Segmented streaming execution: checkpointed segment-chain replay.
+"""Segmented replay facade: the stable import surface.
 
-One :class:`~repro.engine.job.SimJob` normally replays its whole trace
-in one pass.  This module cuts the replay at fixed segment boundaries
-(``job.segment_size`` branches) and runs the segments as a *chain*:
+PR 5 introduced segmented execution as a single module; the speculative
+shard-parallel refactor split it into three layers that this facade
+re-exports, so existing imports (``repro.engine.segmented``) keep
+working unchanged:
 
-- each segment starts from a :class:`ReplayCheckpoint` -- the canonical
-  predictor/estimator state plus the trailing history/path window --
-  and produces the next checkpoint along with its complete event list;
-- each segment has its own content address
-  (:func:`segment_fingerprint`), keyed by the trace coordinates of the
-  segment, the component specs, and the *incoming* checkpoint digest,
-  so a chain prefix shared between two jobs (same benchmark/seed/specs,
-  different length or warm-up) hits the
-  :class:`~repro.engine.cache.SegmentCache` segment for segment;
-- aggregation is deferred to merge time: segments cache *all* of their
-  events, and the job's warm-up/collect_outputs settings are applied
-  when folding the concatenated stream into a
-  :class:`~repro.core.frontend.FrontEndResult` via the pure
-  :func:`~repro.core.frontend.aggregate_event`.
-
-Checkpoints are built on the components' ``checkpoint()``/``restore()``
-protocol (canonical state tuples), so a resumed chain is bit-identical
-to a monolithic replay -- the property enforced by the segmented
-verify layer (``python -m repro.verify``) across adversarial cut
-points on both backends.
+- :mod:`repro.engine.chain` -- checkpoints, segment fingerprints, the
+  per-segment executor and the sequential strategy;
+- :mod:`repro.engine.scheduler` -- :class:`SegmentPlan`, chain records,
+  strategy selection and the :func:`replay_segmented` entry point;
+- :mod:`repro.engine.speculation` -- guess providers and the
+  speculative shard scheduler (guess/guard/abort; see
+  ``docs/architecture.md``).
 """
 
-from __future__ import annotations
-
-import hashlib
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
-
-from repro import telemetry
-from repro.engine.cache import SegmentCache
-from repro.engine.job import FINGERPRINT_SCHEMA, ReplayOutcome, SimJob
-from repro.trace.segments import segment_bounds
+from repro.engine.chain import (
+    CHECKPOINT_WINDOW,
+    ReplayCheckpoint,
+    SegmentExecutor,
+    SequentialChain,
+    segment_fingerprint,
+)
+from repro.engine.scheduler import (
+    CHAIN_SCHEMA,
+    ChainRecord,
+    ChainRun,
+    SegmentPlan,
+    replay_segmented,
+    select_scheduler,
+)
+from repro.engine.speculation import (
+    ChainGuessProvider,
+    CorruptingGuessProvider,
+    GuessProvider,
+    SpeculativeShardScheduler,
+)
 
 __all__ = [
+    "CHAIN_SCHEMA",
     "CHECKPOINT_WINDOW",
+    "ChainGuessProvider",
+    "ChainRecord",
+    "ChainRun",
+    "CorruptingGuessProvider",
+    "GuessProvider",
     "ReplayCheckpoint",
-    "segment_fingerprint",
+    "SegmentExecutor",
+    "SegmentPlan",
+    "SequentialChain",
+    "SpeculativeShardScheduler",
     "replay_segmented",
+    "segment_fingerprint",
+    "select_scheduler",
 ]
-
-#: Trailing context retained by a checkpoint: the last this-many branch
-#: outcomes (history word) and addresses (path).  64 covers every
-#: registered component -- reference history registers are capped at 64
-#: bits and the path perceptron at 64 path entries.
-CHECKPOINT_WINDOW = 64
-
-_WINDOW_MASK = (1 << CHECKPOINT_WINDOW) - 1
-
-
-@dataclass(frozen=True)
-class ReplayCheckpoint:
-    """Bit-exact replay state at a segment boundary.
-
-    Attributes:
-        position: Number of branches retired before this point.
-        predictor_state: Predictor ``checkpoint()`` tuple (``None`` at
-            position 0: fresh components need no restore).
-        estimator_state: Estimator ``checkpoint()`` tuple (ditto).
-        history_bits: The last :data:`CHECKPOINT_WINDOW` branch
-            outcomes, bit 0 most recent (zero-filled while fewer
-            branches have retired, matching a fresh history register).
-        path: The last :data:`CHECKPOINT_WINDOW` branch addresses in
-            chronological order (most recent last).
-
-    ``history_bits`` and ``path`` duplicate context already inside the
-    component states; they exist so the fast backend can seed its
-    columnar precomputation (per-branch history words, path matrices)
-    without decoding component-specific tuples.
-    """
-
-    position: int
-    predictor_state: Optional[tuple]
-    estimator_state: Optional[tuple]
-    history_bits: int
-    path: Tuple[int, ...]
-
-    @classmethod
-    def initial(cls) -> "ReplayCheckpoint":
-        """The start-of-trace checkpoint (fresh components)."""
-        return cls(
-            position=0,
-            predictor_state=None,
-            estimator_state=None,
-            history_bits=0,
-            path=(),
-        )
-
-    @property
-    def digest(self) -> str:
-        """SHA-256 over the canonical checkpoint encoding.
-
-        Backend-independent by construction: both backends produce the
-        same canonical state tuples (enforced by the fastpath verify
-        layer), so chains interleave cache entries freely.
-        """
-        canonical = (
-            "checkpoint",
-            self.position,
-            self.predictor_state,
-            self.estimator_state,
-            self.history_bits,
-            self.path,
-        )
-        return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
-
-
-def segment_fingerprint(
-    job: SimJob, start: int, stop: int, incoming_digest: str
-) -> str:
-    """Content address of one segment replay within a job's chain.
-
-    Keyed by what determines the segment's events and outgoing
-    checkpoint: the trace coordinates (benchmark, seed, ``[start,
-    stop)`` -- generator prefixes are length-stable, so ``n_branches``
-    is deliberately absent), the component specs, the backend, and the
-    incoming checkpoint digest.  ``warmup`` and ``collect_outputs`` are
-    also absent: segments cache all events, and those knobs apply at
-    merge time -- so a job re-run with a different warm-up or a longer
-    trace replays only its genuinely dirty segments.
-    """
-    canonical = (
-        "segment",
-        FINGERPRINT_SCHEMA,
-        job.benchmark,
-        job.seed,
-        start,
-        stop,
-        job.predictor.canonical(),
-        job.estimator.canonical(),
-        job.policy.canonical(),
-        job.backend,
-        incoming_digest,
-    )
-    return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
-
-
-class _ReferenceRunner:
-    """A live reference front end positioned somewhere in the chain.
-
-    Consecutive segment misses reuse the live components (no
-    restore churn); after a cache hit advances the chain past the
-    runner's position, the next miss rebuilds from the checkpoint.
-    """
-
-    def __init__(self, job: SimJob, checkpoint: ReplayCheckpoint):
-        from repro.core.frontend import FrontEnd
-
-        self.frontend = FrontEnd(
-            job.predictor.build(),
-            job.estimator.build(),
-            job.policy.build(),
-        )
-        if checkpoint.position:
-            self.frontend.predictor.restore(checkpoint.predictor_state)
-            self.frontend.estimator.restore(checkpoint.estimator_state)
-        self.position = checkpoint.position
-        self.history = checkpoint.history_bits
-        self.path: List[int] = list(checkpoint.path)
-
-    def run_segment(self, records, stop: int):
-        """Process one segment; returns ``(events, out_checkpoint)``."""
-        frontend = self.frontend
-        history = self.history
-        path = self.path
-        events = []
-        for record in records:
-            events.append(frontend.process(record))
-            history = (
-                (history << 1) | (1 if record.taken else 0)
-            ) & _WINDOW_MASK
-            path.append(record.pc)
-        if len(path) > CHECKPOINT_WINDOW:
-            del path[:-CHECKPOINT_WINDOW]
-        self.position = stop
-        self.history = history
-        checkpoint = ReplayCheckpoint(
-            position=stop,
-            predictor_state=frontend.predictor.checkpoint(),
-            estimator_state=frontend.estimator.checkpoint(),
-            history_bits=history,
-            path=tuple(path),
-        )
-        return events, checkpoint
-
-
-def _run_segment_fast(job, segment, stop: int, checkpoint: ReplayCheckpoint):
-    """One fast-backend segment; returns ``(events, out_checkpoint)``."""
-    from repro.fastpath.driver import replay_segment
-
-    events, predictor_state, estimator_state, history, path = replay_segment(
-        job,
-        segment,
-        checkpoint.predictor_state,
-        checkpoint.estimator_state,
-        checkpoint.history_bits,
-        checkpoint.path,
-    )
-    return events, ReplayCheckpoint(
-        position=stop,
-        predictor_state=predictor_state,
-        estimator_state=estimator_state,
-        history_bits=history,
-        path=path,
-    )
-
-
-def replay_segmented(
-    job: SimJob,
-    trace,
-    cache: Optional[SegmentCache] = None,
-) -> Tuple[ReplayOutcome, ReplayCheckpoint]:
-    """Replay ``job`` segment by segment through the segment cache.
-
-    Returns ``(outcome, final_checkpoint)``; the outcome is
-    bit-identical to the monolithic replay of the same job (events and
-    result cover the post-warm-up tail), and the final checkpoint
-    carries the end-of-trace component states for callers that chain
-    further (the segmented verify layer compares its digests against a
-    monolithic reference).
-    """
-    assert job.segment_size is not None
-    from repro.core.frontend import FrontEndResult, aggregate_event
-
-    tel = telemetry.get_registry()
-    if cache is None:
-        # Cacheless fallback (e.g. an ad-hoc engine-less call): the
-        # chain still runs, it just cannot share prefixes across jobs.
-        cache = SegmentCache()
-
-    use_fast = False
-    if job.backend == "fast":
-        from repro import fastpath
-
-        use_fast = fastpath.supports(job)
-        if not use_fast and tel.enabled:
-            tel.counter(
-                "fastpath_fallbacks_total",
-                reason=fastpath.unsupported_reason(job) or "unknown",
-            ).inc()
-
-    checkpoint = ReplayCheckpoint.initial()
-    runner: Optional[_ReferenceRunner] = None
-    all_events: List = []
-    fell_back = False
-    for start, stop in segment_bounds(job.n_branches, job.segment_size):
-        fingerprint = segment_fingerprint(job, start, stop, checkpoint.digest)
-        hit = cache.get(fingerprint)
-        if hit is not None:
-            events, checkpoint = hit
-            all_events.extend(events)
-            continue
-        segment = trace.slice(start, stop)
-        if use_fast:
-            from repro import fastpath
-
-            try:
-                events, checkpoint = _run_segment_fast(
-                    job, segment, stop, checkpoint
-                )
-            except fastpath.FastPathUnsupported:
-                # Runtime rejection (e.g. oversized pcs): finish the
-                # chain on the reference loop -- checkpoints are
-                # backend-independent, so the hand-off is exact.
-                if tel.enabled:
-                    tel.counter(
-                        "fastpath_fallbacks_total", reason="runtime"
-                    ).inc()
-                use_fast = False
-                fell_back = True
-        if not use_fast:
-            if runner is None or runner.position != checkpoint.position:
-                runner = _ReferenceRunner(job, checkpoint)
-            events, checkpoint = runner.run_segment(segment, stop)
-        cache.put(fingerprint, events, checkpoint)
-        all_events.extend(events)
-        if tel.enabled:
-            tel.counter(
-                "engine_segments_total",
-                backend="fast" if use_fast else "reference",
-            ).inc()
-
-    result = FrontEndResult()
-    events_tail = all_events[job.warmup:]
-    for event in events_tail:
-        aggregate_event(result, event, job.collect_outputs)
-    backend = "fast" if (job.backend == "fast" and use_fast and not fell_back) else "reference"
-    return (
-        ReplayOutcome(events=events_tail, result=result, backend=backend),
-        checkpoint,
-    )

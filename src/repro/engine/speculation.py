@@ -1,0 +1,295 @@
+"""Speculative shard-parallel execution of a segment plan.
+
+The sequential chain is inherently serial: segment k cannot start
+before segment k-1 has produced its outgoing checkpoint.  This module
+breaks the dependence the same way the paper's pipeline gating does --
+*guess, guard, abort*:
+
+- **guess**: each segment's incoming checkpoint is predicted from the
+  previous run's recorded chain
+  (:class:`~repro.engine.scheduler.ChainRecord`, surfaced through a
+  :class:`GuessProvider`), and the segment is dispatched to a worker
+  process immediately;
+- **guard**: at the joins the parent walks the chain in order,
+  maintaining the *true* checkpoint, and accepts a speculative result
+  only when the guessed incoming digest equals the true one
+  (:attr:`ReplayCheckpoint.digest` covers position, both component
+  state tuples, history bits and path, so any divergence -- however it
+  was caused -- fails the comparison);
+- **abort**: a mispredicted segment's result is discarded and the
+  segment re-executes exactly, sequentially, from the true checkpoint;
+  every later segment whose guess descended from the misprediction
+  aborts the same way, so a wrong guess can never contaminate the
+  outcome.
+
+On a warm, unchanged-configuration re-run every guess validates and
+the replay becomes an embarrassingly parallel scan; under a
+mispeculation storm (every guess wrong) the scheduler degrades to the
+sequential chain plus discarded speculative work -- slower, never
+incorrect.  The ``speculative`` verify layer enforces bit-identity
+against the sequential and monolithic replays on both backends,
+including under adversarial guess corruption
+(:class:`CorruptingGuessProvider`).
+
+Telemetry (parent-side only; workers run silent):
+
+- ``speculation_guessed_total`` -- speculative dispatches from guessed
+  incoming states (segment 0's exact initial state is not a guess);
+- ``speculation_validated_total`` / ``speculation_aborted_total`` --
+  guard outcomes per guessed dispatch (they sum to ``guessed``);
+- ``speculation_requeued_total`` -- segments re-executed on the
+  sequential repair path at join time;
+- per-segment ``engine.segment`` spans carrying the join order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from repro import telemetry
+from repro.engine.chain import ReplayCheckpoint, SegmentExecutor
+
+__all__ = [
+    "GuessProvider",
+    "ChainGuessProvider",
+    "CorruptingGuessProvider",
+    "SpeculativeShardScheduler",
+    "speculative_worker",
+]
+
+
+class GuessProvider:
+    """Predicts the incoming checkpoint of a segment, or abstains.
+
+    A guess is *advisory*: it may be arbitrarily wrong (stale chain,
+    corrupted record, adversarial test) and the join-time digest guard
+    is the only thing that decides whether its result is used.  A
+    provider that abstains (returns ``None``) simply leaves the segment
+    to the sequential repair path.
+    """
+
+    def guess(self, plan, index: int, position: int) -> Optional[ReplayCheckpoint]:
+        raise NotImplementedError
+
+
+class ChainGuessProvider(GuessProvider):
+    """Guesses from a prior run's recorded chain.
+
+    The recorded outgoing checkpoint at trace ``position`` is exactly
+    right whenever nothing upstream of ``position`` changed -- the warm
+    re-run case -- and harmlessly wrong otherwise.
+    """
+
+    def __init__(self, record):
+        self.record = record
+
+    def guess(self, plan, index: int, position: int) -> Optional[ReplayCheckpoint]:
+        return self.record.checkpoint_at(position)
+
+
+class CorruptingGuessProvider(GuessProvider):
+    """Adversarial wrapper: corrupts selected guesses in flight.
+
+    Used by the ``speculative`` verify layer and the hypothesis suite
+    to prove the guard converges to sequential-identical output no
+    matter which joins are fed garbage.  ``corrupt`` selects segment
+    indices to corrupt (a collection, or a predicate on the index);
+    ``mutate`` maps the honest guess to the corrupted one -- the
+    default keeps ``position`` (so the segment still *runs*, from the
+    wrong state) while perturbing the replayed context, which both
+    breaks the digest and genuinely changes the speculative events.
+    """
+
+    def __init__(
+        self,
+        inner: GuessProvider,
+        corrupt,
+        mutate: Optional[Callable[[ReplayCheckpoint], ReplayCheckpoint]] = None,
+    ):
+        self.inner = inner
+        self._corrupt = corrupt if callable(corrupt) else set(corrupt).__contains__
+        self._mutate = mutate if mutate is not None else self._default_mutate
+
+    @staticmethod
+    def _default_mutate(checkpoint: ReplayCheckpoint) -> ReplayCheckpoint:
+        return ReplayCheckpoint(
+            position=checkpoint.position,
+            predictor_state=checkpoint.predictor_state,
+            estimator_state=checkpoint.estimator_state,
+            history_bits=checkpoint.history_bits ^ 0x2A,
+            path=checkpoint.path[:-1] if checkpoint.path else (0x1234,),
+        )
+
+    def guess(self, plan, index: int, position: int) -> Optional[ReplayCheckpoint]:
+        guess = self.inner.guess(plan, index, position)
+        if guess is not None and self._corrupt(index):
+            guess = self._mutate(guess)
+        return guess
+
+
+def speculative_worker(job, records, stop: int, checkpoint: ReplayCheckpoint):
+    """Execute one segment in a worker process.
+
+    Module-level so the process pool can pickle it by reference.  The
+    incoming ``checkpoint`` may be a wrong guess -- the worker executes
+    faithfully from whatever state it was handed and the parent's
+    digest guard decides whether the result is usable.  Telemetry is
+    disabled first: the parent owns all counting, and a forked child
+    inherits the parent's enabled registry.
+    """
+    telemetry.disable()
+    executor = SegmentExecutor(job)
+    events, out_checkpoint, backend = executor.run(records, stop, checkpoint)
+    return events, out_checkpoint, backend
+
+
+class SpeculativeShardScheduler:
+    """Fan segments out from guessed states; validate at the joins.
+
+    ``guess_provider`` overrides the default chain-record lookup (the
+    verify layer injects :class:`CorruptingGuessProvider`).  With no
+    guesses available -- a cold run -- the scheduler delegates to the
+    sequential chain outright rather than paying pool start-up for
+    nothing.
+    """
+
+    name = "speculative"
+
+    def __init__(self, max_workers: int = 2, guess_provider: Optional[GuessProvider] = None):
+        self.max_workers = max(2, int(max_workers))
+        self.guess_provider = guess_provider
+
+    def _resolve_provider(self, plan, cache) -> Optional[GuessProvider]:
+        if self.guess_provider is not None:
+            return self.guess_provider
+        from repro.engine.scheduler import CHAIN_SCHEMA, ChainRecord
+
+        record = cache.get_chain(plan.chain_key)
+        if isinstance(record, ChainRecord) and record.schema == CHAIN_SCHEMA:
+            return ChainGuessProvider(record)
+        return None
+
+    def run(self, plan, trace, cache):
+        """Execute ``plan`` over ``trace``; returns a ``ChainRun``."""
+        from repro.engine.chain import SequentialChain
+        from repro.engine.scheduler import ChainRun
+
+        provider = self._resolve_provider(plan, cache)
+        dispatch: Dict[int, ReplayCheckpoint] = {}
+        if provider is not None:
+            # Segment 0's incoming state is known exactly; it joins the
+            # fan-out so the pool overlaps it with the guessed shards,
+            # but it is not a guess and never counts as one.
+            dispatch[0] = ReplayCheckpoint.initial()
+            for index in range(1, len(plan.bounds)):
+                start = plan.bounds[index][0]
+                guess = provider.guess(plan, index, start)
+                if guess is not None and guess.position == start:
+                    dispatch[index] = guess
+        if len(dispatch) <= 1:
+            return SequentialChain().run(plan, trace, cache)
+
+        tel = telemetry.get_registry()
+        job = plan.job
+        executor: Optional[SegmentExecutor] = None
+        checkpoint = ReplayCheckpoint.initial()
+        all_events: List = []
+        fingerprints: List[str] = []
+        checkpoints: List[ReplayCheckpoint] = []
+        worker_fell_back = False
+
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                index: pool.submit(
+                    speculative_worker,
+                    job,
+                    tuple(trace.slice(*plan.bounds[index])),
+                    plan.bounds[index][1],
+                    incoming,
+                )
+                for index, incoming in sorted(dispatch.items())
+            }
+            if tel.enabled:
+                guessed = sum(1 for index in futures if index)
+                if guessed:
+                    tel.counter("speculation_guessed_total").inc(guessed)
+
+            for index, (start, stop) in enumerate(plan.bounds):
+                with telemetry.trace_span(
+                    "engine.segment",
+                    index=index,
+                    scheduler=self.name,
+                ):
+                    fingerprint = plan.fingerprint(index, checkpoint.digest)
+                    hit = cache.get(fingerprint)
+                    future = futures.pop(index, None)
+                    guess = dispatch.get(index)
+                    guess_ok = guess is not None and (
+                        index == 0 or guess.digest == checkpoint.digest
+                    )
+                    if index and guess is not None and tel.enabled:
+                        tel.counter(
+                            "speculation_validated_total"
+                            if guess_ok
+                            else "speculation_aborted_total"
+                        ).inc()
+
+                    events = None
+                    if hit is not None:
+                        events, checkpoint = hit
+                        if future is not None:
+                            future.cancel()
+                    elif guess_ok and future is not None:
+                        try:
+                            events, out_checkpoint, backend = future.result()
+                        except Exception as exc:
+                            telemetry.log_event(
+                                "engine.speculative_worker_failed",
+                                message=str(exc),
+                                segment=index,
+                            )
+                        else:
+                            cache.put(fingerprint, events, out_checkpoint)
+                            checkpoint = out_checkpoint
+                            if backend == "reference" and job.backend == "fast":
+                                worker_fell_back = True
+                            if tel.enabled:
+                                tel.counter(
+                                    "engine_segments_total", backend=backend
+                                ).inc()
+                    elif future is not None:
+                        # Mispredicted (or unneeded) speculative work:
+                        # discard without awaiting.
+                        future.cancel()
+
+                    if events is None:
+                        # Repair path: exact sequential re-execution
+                        # from the true checkpoint.
+                        if executor is None:
+                            executor = SegmentExecutor(job)
+                        segment = trace.slice(start, stop)
+                        events, checkpoint, backend = executor.run(
+                            segment, stop, checkpoint
+                        )
+                        cache.put(fingerprint, events, checkpoint)
+                        if tel.enabled:
+                            tel.counter(
+                                "engine_segments_total", backend=backend
+                            ).inc()
+                            tel.counter("speculation_requeued_total").inc()
+
+                    all_events.extend(events)
+                    fingerprints.append(fingerprint)
+                    checkpoints.append(checkpoint)
+
+        fell_back = worker_fell_back or (
+            executor is not None and executor.fell_back
+        )
+        return ChainRun(
+            events=all_events,
+            final_checkpoint=checkpoint,
+            fingerprints=tuple(fingerprints),
+            checkpoints=tuple(checkpoints),
+            fell_back=fell_back,
+        )

@@ -434,6 +434,17 @@ def replay_segment(job, segment, predictor_state, estimator_state, history_bits,
     describing all of the segment's events (warm-up applies at merge
     time, not here) and the outgoing checkpoint fields.
 
+    The incoming states are *trusted for shape, not for truth*: the
+    speculative scheduler hands this function guessed -- possibly
+    wrong, possibly corrupted -- checkpoints, executes faithfully from
+    whatever state arrives, and lets the join-time digest guard decide
+    whether the result is usable.  A wrong-but-well-formed state simply
+    replays to a different (discarded) outcome; a *malformed* state
+    (truncated tuple, wrong types -- e.g. a garbled chain record) is
+    rejected cheaply as :class:`~repro.fastpath.FastPathUnsupported`
+    rather than crashing deep inside a kernel, so callers keep their
+    ordinary fallback/requeue path.
+
     The columnar view is built per call rather than through
     :func:`get_columnar`: its derived columns depend on the incoming
     context, so the whole-trace cache must not serve it.  The
@@ -444,15 +455,22 @@ def replay_segment(job, segment, predictor_state, estimator_state, history_bits,
 
     try:
         col = ColumnarTrace(segment, init_history=history_bits, init_path=path)
-    except ValueError as exc:
+    except (TypeError, ValueError) as exc:
         raise FastPathUnsupported(str(exc)) from None
     tel = get_registry()
     if tel.enabled:
         tel.histogram(
             "fastpath_batch_branches", buckets=COUNT_BUCKETS
         ).observe(col.n)
-    ppass = run_predictor(job.predictor, col, predictor_state)
-    epass = run_estimator(job.estimator, col, ppass.pred, ppass.correct, estimator_state)
+    try:
+        ppass = run_predictor(job.predictor, col, predictor_state)
+        epass = run_estimator(
+            job.estimator, col, ppass.pred, ppass.correct, estimator_state
+        )
+    except (TypeError, ValueError, IndexError, KeyError) as exc:
+        raise FastPathUnsupported(
+            f"malformed init state: {type(exc).__name__}: {exc}"
+        ) from None
     decisions, _final_arr, _reverse_arr = _decide(job, col, ppass, epass)
     signals = _signals(epass)
     events = _materialize_events(job, col, ppass, signals, decisions, warmup=0)

@@ -17,11 +17,14 @@ module provides the two trace-side halves of that architecture:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 from itertools import islice
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro import telemetry
 from repro.trace.io import load_trace, save_trace
 from repro.trace.record import BranchRecord, Trace
 
@@ -29,7 +32,9 @@ __all__ = [
     "segment_bounds",
     "iter_record_segments",
     "save_segmented",
+    "sweep_orphan_segments",
     "SegmentedTrace",
+    "SegmentedTraceView",
 ]
 
 #: Index file inside a segmented-trace directory.
@@ -85,6 +90,66 @@ def _segment_file(index: int) -> str:
     return f"segment-{index:06d}.npz"
 
 
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def sweep_orphan_segments(directory: str) -> int:
+    """Remove segment ``.npz`` files that no index has ever claimed.
+
+    :func:`save_segmented` writes its index last, so a crashed writer
+    leaves segment payloads with no ``index.json`` -- dead bytes no
+    reader will ever open.  This sweep unlinks them (the whole
+    directory's segments if there is no index at all, or any file
+    beyond what the index lists) and returns how many were removed,
+    also counted in the ``trace_segment_orphans_removed_total``
+    telemetry counter.  A directory with a consistent index is left
+    untouched.
+    """
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return 0
+    claimed = set()
+    index_path = os.path.join(directory, INDEX_NAME)
+    if os.path.exists(index_path):
+        try:
+            with open(index_path, "r", encoding="utf-8") as fh:
+                index = json.load(fh)
+            claimed = {entry["file"] for entry in index.get("segments", [])}
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable index: treat as absent -- every payload is an
+            # orphan of a failed write.
+            claimed = set()
+    removed = 0
+    for name in names:
+        if not (name.startswith("segment-") and name.endswith(".npz")):
+            continue
+        if name in claimed:
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:
+            continue
+        removed += 1
+    if removed:
+        tel = telemetry.get_registry()
+        if tel.enabled:
+            tel.counter("trace_segment_orphans_removed_total").inc(removed)
+        telemetry.log_event(
+            "trace.orphan_segments_removed",
+            level=logging.INFO,
+            message=f"removed {removed} orphan segment file(s)",
+            directory=directory,
+            removed=removed,
+        )
+    return removed
+
+
 def save_segmented(
     records: Iterable[BranchRecord],
     directory: str,
@@ -102,7 +167,12 @@ def save_segmented(
 
     The directory holds one ``.npz`` per segment plus ``index.json``
     describing the layout; the index is written last, so a crashed
-    writer never leaves a readable-but-truncated trace behind.
+    writer never leaves a readable-but-truncated trace behind (and any
+    payloads such a crash did leave are swept before writing).  Each
+    segment entry records the payload's SHA-256, and the index carries
+    a ``content_digest`` over the per-segment digests -- the identity
+    :meth:`SegmentedTrace.job_token` embeds so engine jobs can pin the
+    exact recorded content.
     """
     _check_segment_size(segment_size)
     if isinstance(records, Trace):
@@ -116,16 +186,24 @@ def save_segmented(
             raise ValueError(f"n_branches must be >= 0, got {n_branches}")
         stream = islice(stream, n_branches)
     os.makedirs(directory, exist_ok=True)
+    if not os.path.exists(os.path.join(directory, INDEX_NAME)):
+        sweep_orphan_segments(directory)
     segments = []
     start = 0
+    content = hashlib.sha256()
     for i, segment in enumerate(iter_record_segments(stream, segment_size)):
         filename = _segment_file(i)
-        save_trace(
-            Trace(segment, name=name, seed=seed),
-            os.path.join(directory, filename),
-        )
+        path = os.path.join(directory, filename)
+        save_trace(Trace(segment, name=name, seed=seed), path)
+        sha = _file_sha256(path)
+        content.update(sha.encode("ascii"))
         segments.append(
-            {"file": filename, "start": start, "stop": start + len(segment)}
+            {
+                "file": filename,
+                "start": start,
+                "stop": start + len(segment),
+                "sha256": sha,
+            }
         )
         start += len(segment)
     index = {
@@ -134,6 +212,7 @@ def save_segmented(
         "seed": seed,
         "segment_size": segment_size,
         "n_branches": start,
+        "content_digest": content.hexdigest(),
         "segments": segments,
     }
     tmp = os.path.join(directory, INDEX_NAME + ".tmp")
@@ -174,6 +253,7 @@ class SegmentedTrace:
         self.segment_size = int(index["segment_size"])
         self.n_branches = int(index["n_branches"])
         self._segments = index["segments"]
+        self._content_digest = index.get("content_digest")
         stop = 0
         for entry in self._segments:
             if entry["start"] != stop:
@@ -226,6 +306,64 @@ class SegmentedTrace:
         records = list(self.iter_records())
         return Trace(records, name=self.name, seed=self.seed)
 
+    @property
+    def content_digest(self) -> str:
+        """SHA-256 identity over the per-segment payload digests.
+
+        Recorded in the index by :func:`save_segmented`; directories
+        written before digests existed compute it lazily (one hashing
+        pass over the payload files, never the decoded records).
+        """
+        if self._content_digest is None:
+            content = hashlib.sha256()
+            for entry in self._segments:
+                sha = entry.get("sha256") or _file_sha256(
+                    os.path.join(self.directory, entry["file"])
+                )
+                content.update(sha.encode("ascii"))
+            self._content_digest = content.hexdigest()
+        return self._content_digest
+
+    def job_token(self) -> str:
+        """Benchmark token binding engine jobs to this recorded trace.
+
+        ``segtrace:<digest16>:<absolute path>`` -- usable directly as
+        ``SimJob.benchmark``.  The engine's trace cache resolves the
+        path and checks the content digest, so a fingerprinted job pins
+        the exact recorded bytes, not just a directory name.
+        """
+        return (
+            f"segtrace:{self.content_digest[:16]}:"
+            f"{os.path.abspath(self.directory)}"
+        )
+
+    def slice(self, start: int, stop: Optional[int] = None) -> Trace:
+        """Materialize ``records[start:stop]``, loading only the
+        segments that overlap the window -- the engine chain's segment
+        pulls stay O(segment size) however long the trace is."""
+        stop = self.n_branches if stop is None else min(stop, self.n_branches)
+        start = max(0, start)
+        records: List[BranchRecord] = []
+        for i, entry in enumerate(self._segments):
+            if entry["stop"] <= start:
+                continue
+            if entry["start"] >= stop:
+                break
+            segment = self.segment(i)
+            lo = max(0, start - entry["start"])
+            hi = min(len(segment), stop - entry["start"])
+            records.extend(segment.records[lo:hi])
+        return Trace(
+            records, name=f"{self.name}[{start}:{stop}]", seed=self.seed
+        )
+
+    def prefix(self, n_branches: int) -> "SegmentedTraceView":
+        """A lazy length-``n_branches`` view (no records loaded)."""
+        return SegmentedTraceView(self, n_branches)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        return self.iter_records()
+
     def __len__(self) -> int:
         return self.n_branches
 
@@ -235,3 +373,44 @@ class SegmentedTrace:
             f"n_branches={self.n_branches}, "
             f"segment_size={self.segment_size})"
         )
+
+
+class SegmentedTraceView:
+    """A length-limited lazy view over a :class:`SegmentedTrace`.
+
+    Presents the trace interface the engine and the segment chain
+    consume (``len``, iteration, ``slice``, name/seed metadata) for the
+    first ``n_branches`` records, loading only the segments each access
+    touches -- so a ``SimJob`` shorter than the recorded trace flows
+    through segmented (and speculative) replay without the whole trace
+    ever being materialized.
+    """
+
+    def __init__(self, trace: SegmentedTrace, n_branches: int):
+        if not 0 <= n_branches <= len(trace):
+            raise ValueError(
+                f"n_branches must be in [0, {len(trace)}], got {n_branches}"
+            )
+        self._trace = trace
+        self._n = n_branches
+
+    @property
+    def name(self) -> str:
+        return self._trace.name
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self._trace.seed
+
+    def slice(self, start: int, stop: Optional[int] = None) -> Trace:
+        stop = self._n if stop is None else min(stop, self._n)
+        return self._trace.slice(start, stop)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        return islice(self._trace.iter_records(), self._n)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SegmentedTraceView({self._trace!r}, n_branches={self._n})"

@@ -130,6 +130,41 @@ def _run_segmented_layer(engine, profile, stream) -> List[str]:
     return failures
 
 
+def _run_speculative_layer(engine, profile, stream, jobs) -> List[str]:
+    from repro import fastpath
+    from repro.verify.speculative import (
+        SPECULATIVE_SIZES,
+        run_speculative_equivalence,
+    )
+
+    failures = []
+    shard_jobs = max(2, jobs)
+    print(
+        f"== speculative: {len(CASES)} cases x "
+        f"{profile.differential_branches} branches x "
+        f"sizes={','.join(str(s) for s in SPECULATIVE_SIZES)} "
+        f"(jobs={shard_jobs}) ==",
+        file=stream,
+    )
+    backends = ("reference", "fast") if fastpath.available() else ("reference",)
+    if len(backends) == 1:
+        print(
+            "note speculative: fast backend skipped (numpy not installed)",
+            file=stream,
+        )
+    trace = engine.trace(
+        profile.benchmarks[0], profile.differential_branches, seed=1
+    )
+    for case in CASES:
+        for report in run_speculative_equivalence(
+            trace, case, backends=backends, jobs=shard_jobs
+        ):
+            print(report.format(), file=stream)
+            if not report.ok:
+                failures.append(f"speculative: {report.format()}")
+    return failures
+
+
 def _run_golden_layer(engine, profile, refresh, reason, stream, backend) -> List[str]:
     print(
         f"== golden gate [{profile.name}, backend={backend}]: "
@@ -163,6 +198,7 @@ def run_verification(
     stream=None,
     fastpath: bool = True,
     segmented: bool = True,
+    speculative: bool = True,
     backend: str = "reference",
     telemetry_path: Optional[str] = None,
     trace_out: Optional[str] = None,
@@ -216,6 +252,10 @@ def run_verification(
         if segmented:
             yield "segmented", lambda: _run_segmented_layer(
                 engine, profile, stream
+            )
+        if speculative:
+            yield "speculative", lambda: _run_speculative_layer(
+                engine, profile, stream, jobs
             )
         if golden:
             yield "golden", lambda: _run_golden_layer(
@@ -328,6 +368,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the segmented-vs-monolithic equivalence layer",
     )
+    parser.add_argument(
+        "--skip-speculative",
+        action="store_true",
+        help=(
+            "skip the speculative-scheduler equivalence layer "
+            "(guess/guard/abort under adversarial corruption)"
+        ),
+    )
     parser.add_argument("--skip-golden", action="store_true", help="skip layer 3")
     parser.add_argument(
         "--backend",
@@ -378,6 +426,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         markdown=args.markdown,
         fastpath=not args.skip_fastpath,
         segmented=not args.skip_segmented,
+        speculative=not args.skip_speculative,
         backend=args.backend,
         telemetry_path=args.telemetry,
         trace_out=args.trace_out,

@@ -1,0 +1,218 @@
+"""Speculative-vs-sequential-vs-monolithic: speculation changes nothing.
+
+The speculative shard scheduler
+(:class:`~repro.engine.speculation.SpeculativeShardScheduler`) promises
+that guessing incoming checkpoints, executing shards in parallel, and
+aborting mispredictions at the joins is *invisible*: the event stream,
+the canonical metrics, and the final component state digests are
+bit-identical to both the sequential chain and the monolithic replay of
+the same job -- whatever the guesses were.
+
+Per verify-matrix case and backend this layer runs, at each segment
+size:
+
+1. the **sequential** chain against the monolithic reference oracle
+   (re-establishing the PR 5 property, and recording the chain that
+   seeds the speculative guesses);
+2. a **warm speculative** re-run from a cleared event cache, so every
+   segment genuinely re-executes from a guessed checkpoint rather than
+   hitting the cache;
+3. two **adversarial corruption** runs through
+   :class:`~repro.engine.speculation.CorruptingGuessProvider`: every
+   odd join corrupted (mixed validate/abort traffic), then *every*
+   guess corrupted (a full mispeculation storm).
+
+A silent divergence anywhere -- an accepted wrong guess, a repair path
+that resumes from the wrong state, a fast shard whose seeded math
+drifts -- fails the case with the first differing branch index.  As in
+the fastpath/segmented layers, a fast-backend run that silently fell
+back to the reference loop is itself a failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.frontend import FrontEnd, FrontEndResult, aggregate_event
+from repro.engine.cache import SegmentCache
+from repro.engine.canonical import canonical_metrics
+from repro.engine.job import SimJob
+from repro.engine.scheduler import SegmentPlan, replay_segmented
+from repro.engine.speculation import (
+    ChainGuessProvider,
+    CorruptingGuessProvider,
+    SpeculativeShardScheduler,
+)
+
+__all__ = [
+    "SPECULATIVE_SIZES",
+    "SpeculativeReport",
+    "run_speculative_equivalence",
+]
+
+#: Segment sizes exercised per case: an odd non-divisor (many shards,
+#: short final segment) and a coarser power of two (few shards).  Two
+#: sizes keep the layer affordable while covering both fan-out shapes.
+SPECULATIVE_SIZES: Tuple[int, ...] = (997, 2048)
+
+
+def _digest(state: tuple) -> str:
+    return hashlib.sha256(repr(state).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SpeculativeReport:
+    """Outcome of one case x backend speculation sweep."""
+
+    label: str
+    backend: str
+    sizes: Tuple[int, ...]
+    jobs: int
+    failure: Optional[str]  # None when every size and mode matched
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def format(self) -> str:
+        sizes = ",".join(str(s) for s in self.sizes)
+        if self.ok:
+            return (
+                f"ok   {self.label} "
+                f"[{self.backend}, sizes={sizes}, jobs={self.jobs}]"
+            )
+        return f"FAIL {self.label} [{self.backend}]: {self.failure}"
+
+
+def _monolithic_oracle(trace, case):
+    """Reference whole-trace replay: events, metrics, state digests."""
+    frontend = FrontEnd(
+        case.predictor.build(), case.estimator.build(), case.policy.build()
+    )
+    events = []
+    result = FrontEndResult()
+    for record in trace:
+        event = frontend.process(record)
+        events.append(event)
+        aggregate_event(result, event, True)
+    return (
+        events,
+        canonical_metrics(result),
+        frontend.predictor.state_digest(),
+        frontend.estimator.state_digest(),
+    )
+
+
+def _compare(mode, size, outcome, checkpoint, oracle) -> Optional[str]:
+    ref_events, ref_metrics, ref_pdigest, ref_edigest = oracle
+    if outcome.events != ref_events:
+        first = next(
+            (
+                i
+                for i, (got, ref) in enumerate(zip(outcome.events, ref_events))
+                if got != ref
+            ),
+            min(len(outcome.events), len(ref_events)),
+        )
+        return f"size={size} [{mode}]: event stream diverges at branch {first}"
+    if canonical_metrics(outcome.result) != ref_metrics:
+        return f"size={size} [{mode}]: canonical metrics differ"
+    if _digest(checkpoint.predictor_state) != ref_pdigest:
+        return f"size={size} [{mode}]: final predictor state digest differs"
+    if _digest(checkpoint.estimator_state) != ref_edigest:
+        return f"size={size} [{mode}]: final estimator state digest differs"
+    return None
+
+
+def _check_one(
+    trace, case, backend: str, size: int, jobs: int, oracle
+) -> Optional[str]:
+    job = SimJob(
+        benchmark="speculative",
+        n_branches=len(trace),
+        warmup=0,
+        seed=1,
+        predictor=case.predictor,
+        estimator=case.estimator,
+        policy=case.policy,
+        backend=backend,
+        collect_outputs=True,
+        segment_size=size,
+    )
+    cache = SegmentCache()
+
+    # 1. Sequential chain: the oracle-equivalent baseline whose recorded
+    # chain seeds every speculative guess below.
+    outcome, checkpoint = replay_segmented(job, trace, cache=cache)
+    if backend == "fast" and outcome.backend != "fast":
+        return (
+            f"size={size} [sequential]: fast chain fell back to the "
+            f"reference loop (every matrix case must have a seeded fast pass)"
+        )
+    failure = _compare("sequential", size, outcome, checkpoint, oracle)
+    if failure is not None:
+        return failure
+
+    record = cache.get_chain(SegmentPlan.for_job(job).chain_key)
+    if record is None:
+        return f"size={size}: sequential run recorded no chain to guess from"
+
+    modes = [
+        ("speculative-warm", None),
+        (
+            "speculative-corrupt-odd",
+            CorruptingGuessProvider(
+                ChainGuessProvider(record), corrupt=lambda i: i % 2 == 1
+            ),
+        ),
+        (
+            "speculative-storm",
+            CorruptingGuessProvider(
+                ChainGuessProvider(record), corrupt=lambda i: True
+            ),
+        ),
+    ]
+    for mode, provider in modes:
+        cache.clear()  # events gone, chain survives: shards must execute
+        scheduler = SpeculativeShardScheduler(
+            max_workers=jobs, guess_provider=provider
+        )
+        outcome, checkpoint = replay_segmented(
+            job, trace, cache=cache, scheduler=scheduler
+        )
+        if backend == "fast" and outcome.backend != "fast":
+            return f"size={size} [{mode}]: fast run fell back to reference"
+        failure = _compare(mode, size, outcome, checkpoint, oracle)
+        if failure is not None:
+            return failure
+    return None
+
+
+def run_speculative_equivalence(
+    trace,
+    case,
+    backends: Sequence[str] = ("reference", "fast"),
+    sizes: Optional[Sequence[int]] = None,
+    jobs: int = 2,
+) -> List[SpeculativeReport]:
+    """Sweep ``case`` over every (backend, size, corruption mode).
+
+    The monolithic reference oracle is computed once per case and
+    shared; ``sizes`` overrides :data:`SPECULATIVE_SIZES` and ``jobs``
+    sets the shard fan-out (>= 2, else speculation never engages).
+    """
+    oracle = _monolithic_oracle(trace, case)
+    reports: List[SpeculativeReport] = []
+    for backend in backends:
+        backend_sizes = tuple(sizes if sizes is not None else SPECULATIVE_SIZES)
+        failure = None
+        for size in backend_sizes:
+            failure = _check_one(trace, case, backend, size, jobs, oracle)
+            if failure is not None:
+                break
+        reports.append(
+            SpeculativeReport(case.label, backend, backend_sizes, jobs, failure)
+        )
+    return reports

@@ -1,0 +1,523 @@
+"""Speculative shard scheduling: guess/guard/abort must be invisible.
+
+The property under test is the one the ``speculative`` verify layer
+enforces on the full matrix: whatever the guesses were -- honest, stale,
+or adversarially corrupted at arbitrary joins -- the speculative shard
+scheduler produces events, canonical metrics and final component states
+bit-identical to the sequential chain (and hence to the monolithic
+replay).  The hypothesis suite drives random corruption patterns through
+:class:`~repro.engine.speculation.CorruptingGuessProvider`; the storm
+test makes *every* guess wrong and checks both the outcome and the
+counter accounting.
+
+Also covered here because they are what makes speculation useful across
+runs: chain-record persistence (survival of ``clear()``, longer-run
+protection, disk round-trips), the segment cache's disk budget and the
+orphan sweep, ``segtrace:`` job sources, and the fast streaming path.
+"""
+
+import os
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.engine import (
+    ChainGuessProvider,
+    ChainRecord,
+    CorruptingGuessProvider,
+    Engine,
+    ReplayCheckpoint,
+    SegmentPlan,
+    SequentialChain,
+    SimJob,
+    SpeculativeShardScheduler,
+    canonical_metrics,
+    replay_segmented,
+    select_scheduler,
+)
+from repro.engine.cache import SegmentCache
+from repro.engine.scheduler import CHAIN_SCHEMA, record_chain
+from repro.trace.benchmarks import generate_benchmark_trace
+from repro.trace.segments import (
+    SegmentedTrace,
+    save_segmented,
+    sweep_orphan_segments,
+)
+from repro.verify.matrix import CASES
+
+N_BRANCHES = 2_000
+SEGMENT_SIZE = 500  # 4 segments over the 2k-branch trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_benchmark_trace("gzip", n_branches=N_BRANCHES, seed=11)
+
+
+def _job(**overrides):
+    case = CASES[0]
+    base = dict(
+        benchmark="gzip",
+        n_branches=N_BRANCHES,
+        warmup=0,
+        seed=11,
+        predictor=case.predictor,
+        estimator=case.estimator,
+        policy=case.policy,
+        collect_outputs=True,
+        segment_size=SEGMENT_SIZE,
+    )
+    base.update(overrides)
+    return SimJob(**base)
+
+
+def _seeded_cache(job, trace):
+    """Sequential baseline: returns (cache-with-chain, expected outcome)."""
+    cache = SegmentCache()
+    outcome, checkpoint = replay_segmented(
+        job, trace, cache=cache, scheduler=SequentialChain()
+    )
+    cache.clear()  # events gone, chain survives: shards must re-execute
+    return cache, outcome, checkpoint
+
+
+def _chain_record(cache, job):
+    record = cache.get_chain(SegmentPlan.for_job(job).chain_key)
+    assert record is not None, "sequential run must record its chain"
+    return record
+
+
+@pytest.fixture(scope="module")
+def baselines(trace):
+    """Per-segment-size sequential oracles, computed once for the module.
+
+    Maps size -> (chain record, expected events, expected metrics,
+    expected final digest); each hypothesis example replays against a
+    fresh cache seeded only with the recorded chain.
+    """
+    out = {}
+    for size in (256, 500, 997):
+        job = _job(segment_size=size)
+        cache, outcome, checkpoint = _seeded_cache(job, trace)
+        out[size] = (
+            _chain_record(cache, job),
+            outcome.events,
+            canonical_metrics(outcome.result),
+            checkpoint.digest,
+        )
+    return out
+
+
+class TestGuardProperty:
+    """Random corruption at random joins converges to sequential output."""
+
+    @given(
+        corrupt=st.frozensets(st.integers(min_value=0, max_value=7)),
+        size=st.sampled_from((256, 500, 997)),
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_corrupted_guesses_never_change_the_outcome(
+        self, trace, baselines, corrupt, size
+    ):
+        record, events, metrics, digest = baselines[size]
+        job = _job(segment_size=size)
+        scheduler = SpeculativeShardScheduler(
+            max_workers=2,
+            guess_provider=CorruptingGuessProvider(
+                ChainGuessProvider(record), corrupt=corrupt
+            ),
+        )
+        outcome, checkpoint = replay_segmented(
+            job, trace, cache=SegmentCache(), scheduler=scheduler
+        )
+        assert outcome.events == events
+        assert canonical_metrics(outcome.result) == metrics
+        assert checkpoint.digest == digest
+
+
+class TestMispeculationStorm:
+    def test_every_guess_wrong_still_bit_identical(self, trace):
+        job = _job()
+        cache, expected, expected_cp = _seeded_cache(job, trace)
+        record = _chain_record(cache, job)
+
+        tel = telemetry.enable()
+        tel.reset()
+        scheduler = SpeculativeShardScheduler(
+            max_workers=2,
+            guess_provider=CorruptingGuessProvider(
+                ChainGuessProvider(record), corrupt=lambda i: True
+            ),
+        )
+        outcome, checkpoint = replay_segmented(
+            job, trace, cache=cache, scheduler=scheduler
+        )
+        assert outcome.events == expected.events
+        assert checkpoint.digest == expected_cp.digest
+
+        # 4 segments: segment 0 runs from the exact initial state (not a
+        # guess); the other 3 are guessed, all corrupted, all aborted,
+        # all repaired sequentially at their joins.
+        assert tel.counter("speculation_guessed_total").value == 3
+        assert tel.counter("speculation_validated_total").value == 0
+        assert tel.counter("speculation_aborted_total").value == 3
+        assert tel.counter("speculation_requeued_total").value == 3
+        assert (
+            tel.counter("engine_segments_total", backend="reference").value
+            == 4
+        )
+
+
+class TestCounterAccounting:
+    def test_warm_rerun_validates_every_guess(self, trace):
+        job = _job()
+        cache, expected, expected_cp = _seeded_cache(job, trace)
+
+        tel = telemetry.enable()
+        tel.reset()
+        scheduler = SpeculativeShardScheduler(max_workers=2)
+        outcome, checkpoint = replay_segmented(
+            job, trace, cache=cache, scheduler=scheduler
+        )
+        assert outcome.events == expected.events
+        assert checkpoint.digest == expected_cp.digest
+
+        guessed = tel.counter("speculation_guessed_total").value
+        validated = tel.counter("speculation_validated_total").value
+        aborted = tel.counter("speculation_aborted_total").value
+        assert guessed == 3
+        assert (validated, aborted) == (3, 0)
+        assert guessed == validated + aborted
+        assert tel.counter("speculation_requeued_total").value == 0
+
+    def test_mixed_corruption_sums_consistently(self, trace):
+        job = _job()
+        cache, expected, _ = _seeded_cache(job, trace)
+        record = _chain_record(cache, job)
+
+        tel = telemetry.enable()
+        tel.reset()
+        scheduler = SpeculativeShardScheduler(
+            max_workers=2,
+            guess_provider=CorruptingGuessProvider(
+                ChainGuessProvider(record), corrupt=(1, 3)
+            ),
+        )
+        outcome, _ = replay_segmented(
+            job, trace, cache=cache, scheduler=scheduler
+        )
+        assert outcome.events == expected.events
+        guessed = tel.counter("speculation_guessed_total").value
+        validated = tel.counter("speculation_validated_total").value
+        aborted = tel.counter("speculation_aborted_total").value
+        assert guessed == validated + aborted == 3
+        assert aborted == 2  # segments 1 and 3 were fed garbage
+        assert tel.counter("speculation_requeued_total").value == aborted
+
+    def test_cold_run_never_speculates(self, trace):
+        job = _job()
+        tel = telemetry.enable()
+        tel.reset()
+        # Empty cache: no chain record, so even the speculative
+        # scheduler delegates to the sequential chain outright.
+        scheduler = SpeculativeShardScheduler(max_workers=2)
+        replay_segmented(job, trace, cache=SegmentCache(), scheduler=scheduler)
+        assert tel.counter("speculation_guessed_total").value == 0
+        assert tel.counter("speculation_requeued_total").value == 0
+
+
+class TestSchedulerSelection:
+    def test_off_knobs_pin_sequential(self):
+        job = _job()
+        assert isinstance(select_scheduler(job, workers=1), SequentialChain)
+        assert isinstance(
+            select_scheduler(job, workers=4, speculation="off"),
+            SequentialChain,
+        )
+        assert isinstance(
+            select_scheduler(job.with_(speculation="off"), workers=4),
+            SequentialChain,
+        )
+
+    def test_single_segment_pins_sequential(self):
+        job = _job(segment_size=N_BRANCHES)
+        assert isinstance(select_scheduler(job, workers=4), SequentialChain)
+
+    def test_auto_with_workers_goes_speculative(self):
+        scheduler = select_scheduler(_job(), workers=4)
+        assert isinstance(scheduler, SpeculativeShardScheduler)
+        assert scheduler.max_workers == 4
+
+    def test_speculation_joins_job_fingerprint(self):
+        job = _job()
+        assert job.with_(speculation="off").fingerprint != job.fingerprint
+
+
+class TestChainRecord:
+    def _record(self, n, size=SEGMENT_SIZE):
+        checkpoints = tuple(
+            ReplayCheckpoint((k + 1) * size, None, None, k, ())
+            for k in range(n)
+        )
+        return ChainRecord(
+            schema=CHAIN_SCHEMA,
+            segment_size=size,
+            fingerprints=tuple(f"fp{k}" for k in range(n)),
+            checkpoints=checkpoints,
+        )
+
+    def test_extends_is_prefix_comparison(self):
+        short, long = self._record(2), self._record(4)
+        assert long.extends(short)
+        assert long.extends(long)
+        assert not short.extends(long)
+        assert not self._record(4, size=250).extends(short)
+
+    def test_checkpoint_at_indexes_uniform_cuts(self):
+        record = self._record(4)
+        assert record.checkpoint_at(SEGMENT_SIZE).position == SEGMENT_SIZE
+        assert record.checkpoint_at(0) is None
+        assert record.checkpoint_at(SEGMENT_SIZE + 1) is None
+        assert record.checkpoint_at(5 * SEGMENT_SIZE) is None
+
+    def test_shorter_rerun_does_not_clobber_longer_chain(self, trace):
+        job = _job()
+        cache = SegmentCache()
+        replay_segmented(job, trace, cache=cache, scheduler=SequentialChain())
+        long_record = _chain_record(cache, job)
+
+        # A shorter window of the same configuration shares the chain
+        # key (n_branches is excluded); re-running it must keep the
+        # longer record's guesses intact.
+        short = job.with_(n_branches=N_BRANCHES // 2)
+        replay_segmented(
+            short,
+            trace.slice(0, len(trace) // 2),
+            cache=cache,
+            scheduler=SequentialChain(),
+        )
+        kept = _chain_record(cache, job)
+        assert kept.fingerprints == long_record.fingerprints
+
+    def test_chain_survives_clear_and_disk_roundtrip(self, trace, tmp_path):
+        job = _job()
+        cache = SegmentCache(disk_dir=str(tmp_path))
+        replay_segmented(job, trace, cache=cache, scheduler=SequentialChain())
+        key = SegmentPlan.for_job(job).chain_key
+
+        cache.clear()
+        assert cache.get_chain(key) is not None
+
+        # A fresh cache over the same directory reads the pickled chain.
+        rehydrated = SegmentCache(disk_dir=str(tmp_path))
+        record = rehydrated.get_chain(key)
+        assert isinstance(record, ChainRecord)
+        assert record.schema == CHAIN_SCHEMA
+        assert len(record.fingerprints) == 4
+
+    def test_record_chain_ignores_stale_schema(self):
+        cache = SegmentCache()
+        plan = SegmentPlan.for_job(_job())
+        stale = ChainRecord(
+            schema=CHAIN_SCHEMA + 1,
+            segment_size=SEGMENT_SIZE,
+            fingerprints=("x",),
+            checkpoints=(ReplayCheckpoint(SEGMENT_SIZE, None, None, 0, ()),),
+        )
+        cache.put_chain(plan.chain_key, stale)
+        scheduler = SpeculativeShardScheduler(max_workers=2)
+        assert scheduler._resolve_provider(plan, cache) is None
+
+
+class TestDiskHygiene:
+    def _fill(self, cache, n, payload_events=128):
+        # Distinct strings per entry: pickle memoizes repeated objects,
+        # so a shared payload would serialize to almost nothing.
+        for k in range(n):
+            events = [f"{k:03d}-{i:03d}" * 8 for i in range(payload_events)]
+            cache.put(f"fp{k:02d}", events, ReplayCheckpoint.initial())
+
+    def test_disk_budget_evicts_lru(self, tmp_path):
+        tel = telemetry.enable()
+        tel.reset()
+        cache = SegmentCache(
+            event_budget=1, disk_dir=str(tmp_path), disk_budget_bytes=20_000
+        )
+        self._fill(cache, 8)
+        assert cache.disk_evictions > 0
+        assert (
+            tel.counter("cache_segment_disk_evictions_total").value
+            == cache.disk_evictions
+        )
+        segment_dir = tmp_path / "segments"
+        kept = [p for p in segment_dir.iterdir() if p.is_file()]
+        assert sum(p.stat().st_size for p in kept) <= 20_000
+        # Most-recently-written entries survive; the oldest went first.
+        assert cache.get("fp07") is not None
+
+    def test_chain_files_exempt_from_budget(self, tmp_path):
+        cache = SegmentCache(
+            event_budget=1, disk_dir=str(tmp_path), disk_budget_bytes=20_000
+        )
+        record = ChainRecord(
+            schema=CHAIN_SCHEMA,
+            segment_size=SEGMENT_SIZE,
+            fingerprints=("fp",),
+            checkpoints=(ReplayCheckpoint(SEGMENT_SIZE, None, None, 0, ()),),
+        )
+        cache.put_chain("somekey", record)
+        self._fill(cache, 8)
+        assert cache.get_chain("somekey") is not None
+        assert (tmp_path / "segments" / "chains" / "somekey.pkl").exists()
+
+    def test_budget_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SegmentCache(disk_dir=str(tmp_path), disk_budget_bytes=0)
+
+    def test_corrupt_chain_entry_is_dropped(self, tmp_path):
+        cache = SegmentCache(disk_dir=str(tmp_path))
+        chain_dir = tmp_path / "segments" / "chains"
+        chain_dir.mkdir(parents=True)
+        (chain_dir / "badkey.pkl").write_bytes(b"not a pickle")
+        assert cache.get_chain("badkey") is None
+        assert not (chain_dir / "badkey.pkl").exists()
+
+
+class TestOrphanSweep:
+    def test_sweep_removes_unindexed_payloads(self, trace, tmp_path):
+        pytest.importorskip("numpy")
+        directory = str(tmp_path / "seg")
+        save_segmented(trace, directory, segment_size=SEGMENT_SIZE)
+        stray = os.path.join(directory, "segment-9999.npz")
+        with open(stray, "wb") as handle:
+            handle.write(b"orphan")
+
+        tel = telemetry.enable()
+        tel.reset()
+        removed = sweep_orphan_segments(directory)
+        assert removed == 1
+        assert not os.path.exists(stray)
+        assert tel.counter("trace_segment_orphans_removed_total").value == 1
+        # Indexed payloads are untouched and the trace still reads.
+        assert len(SegmentedTrace(directory)) == N_BRANCHES
+
+    def test_save_sweeps_crashed_writer_leftovers(self, trace, tmp_path):
+        pytest.importorskip("numpy")
+        directory = str(tmp_path / "seg")
+        os.makedirs(directory)
+        stray = os.path.join(directory, "segment-0042.npz")
+        with open(stray, "wb") as handle:
+            handle.write(b"crashed writer leftovers")
+        save_segmented(trace, directory, segment_size=SEGMENT_SIZE)
+        assert not os.path.exists(stray)
+
+
+class TestSegtraceJobSource:
+    @pytest.fixture()
+    def recorded(self, trace, tmp_path):
+        pytest.importorskip("numpy")
+        return save_segmented(
+            trace, str(tmp_path / "seg"), segment_size=SEGMENT_SIZE
+        )
+
+    def test_job_token_pins_content(self, recorded):
+        token = recorded.job_token()
+        assert token.startswith("segtrace:")
+        assert recorded.content_digest[:16] in token
+
+    def test_engine_replays_from_token(self, recorded):
+        token = recorded.job_token()
+        engine = Engine(max_workers=1)
+        from_token = engine.replay(_job(benchmark=token, segment_size=None))
+        generated = engine.replay(_job(segment_size=None))
+        assert from_token.events == generated.events
+        assert canonical_metrics(from_token.result) == canonical_metrics(
+            generated.result
+        )
+
+    def test_prefix_view_bounds_job_window(self, recorded):
+        token = recorded.job_token()
+        engine = Engine(max_workers=1)
+        short = engine.replay(
+            _job(benchmark=token, n_branches=700, segment_size=None)
+        )
+        full = engine.replay(_job(segment_size=None))
+        assert short.events == full.events[:700]
+
+    def test_digest_mismatch_rejected(self, recorded):
+        bad = "segtrace:" + "0" * 16 + ":" + recorded.directory
+        with pytest.raises(ValueError, match="digest"):
+            Engine(max_workers=1).replay(
+                _job(benchmark=bad, segment_size=None)
+            )
+
+    def test_oversized_window_rejected(self, recorded):
+        with pytest.raises(ValueError):
+            Engine(max_workers=1).replay(
+                _job(
+                    benchmark=recorded.job_token(),
+                    n_branches=N_BRANCHES + 1,
+                    segment_size=None,
+                )
+            )
+
+
+class TestFastStream:
+    def test_fast_stream_matches_reference(self):
+        pytest.importorskip("numpy")
+        engine = Engine(max_workers=1)
+        ref = engine.stream(_job(segment_size=None), segment_size=600)
+        tel = telemetry.enable()
+        tel.reset()
+        fast = engine.stream(
+            _job(backend="fast", segment_size=None), segment_size=600
+        )
+        assert canonical_metrics(fast) == canonical_metrics(ref)
+        assert tel.counter("engine_stream_segments_total").value == 4
+        assert tel.counter("fastpath_fallbacks_total").value == 0
+
+    def test_midstream_fallback_is_bit_identical(self, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro import fastpath
+        from repro.fastpath import driver
+
+        real = driver.replay_segment
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise fastpath.FastPathUnsupported("injected mid-stream")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(driver, "replay_segment", flaky)
+        engine = Engine(max_workers=1)
+        tel = telemetry.enable()
+        tel.reset()
+        fast = engine.stream(
+            _job(backend="fast", segment_size=None), segment_size=600
+        )
+        fallbacks = tel.counter(
+            "fastpath_fallbacks_total", reason="runtime"
+        ).value
+        telemetry.disable()
+        ref = engine.stream(_job(segment_size=None), segment_size=600)
+        assert canonical_metrics(fast) == canonical_metrics(ref)
+        assert calls["n"] == 3  # two fast segments, then the injection
+        assert fallbacks == 1
