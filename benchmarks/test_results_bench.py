@@ -1,0 +1,70 @@
+"""Result-store benchmarks: put/get throughput and resume planning.
+
+The store sits on every sweep's critical path twice -- once per
+executed job (sink write) and once per planned job (``missing``
+lookup on resume) -- so both directions are timed.  Rates are asserted
+only loosely (sqlite on shared CI varies); the store-backed bench
+history is the precise regression record (see docs/sweeps.md).
+"""
+
+from conftest import run_once
+
+from repro.engine import EstimatorSpec, SimJob
+from repro.results import ResultStore
+
+N_JOBS = 200
+
+METRICS = {
+    "branches": 4000,
+    "mispredictions": 300,
+    "final_mispredictions": 280,
+    "reversals": 50,
+    "reversals_correcting": 30,
+    "reversals_breaking": 20,
+    "low_mispredicted": 200,
+    "low_correct": 500,
+    "high_mispredicted": 100,
+    "high_correct": 3200,
+}
+
+
+def _jobs():
+    return [
+        SimJob(
+            benchmark="gzip",
+            n_branches=10_000,
+            warmup=3_000,
+            seed=seed,
+            estimator=EstimatorSpec.of("perceptron", threshold=0),
+        )
+        for seed in range(1, N_JOBS + 1)
+    ]
+
+
+def test_store_put_throughput(benchmark, tmp_path):
+    """Persist a sweep's worth of job outcomes into one sqlite file."""
+    jobs = _jobs()
+    store = ResultStore(str(tmp_path / "bench.sqlite"))
+
+    def _put_all():
+        for job in jobs:
+            store.put_job(job, METRICS)
+        return store.job_count()
+
+    count = run_once(benchmark, _put_all)
+    assert count == N_JOBS
+    store.close()
+
+
+def test_store_missing_resume_scan(benchmark, tmp_path):
+    """Plan a fully-completed sweep's resume (digest-validated reads)."""
+    jobs = _jobs()
+    store = ResultStore(str(tmp_path / "bench.sqlite"))
+    for job in jobs:
+        store.put_job(job, METRICS)
+
+    missing = benchmark.pedantic(
+        lambda: store.missing(jobs), rounds=3, iterations=1
+    )
+    assert missing == []
+    store.close()

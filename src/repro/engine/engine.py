@@ -245,6 +245,14 @@ class Engine:
             )
         self.max_workers = max_workers
         self.speculation = speculation
+        #: Optional ``callable(job, outcome)`` invoked once per
+        #: *executed* job (never for cache hits), as each outcome
+        #: lands -- not after the whole batch.  The sweep layer points
+        #: this at a :class:`~repro.results.store.ResultStore` so a
+        #: crashed run keeps every completed job.  Sink errors
+        #: propagate: a sweep must not report success while silently
+        #: dropping results.
+        self.result_sink = None
         self._replays = ReplayCache(event_budget, disk_dir=cache_dir)
         self._segments = SegmentCache(
             event_budget,
@@ -331,16 +339,22 @@ class Engine:
                         if tel.enabled:
                             # Workers collect into their own registries;
                             # each job ships a drained snapshot home.
-                            outcomes = []
-                            for outcome, snap in pool.map(
-                                _execute_job_telemetry, pending, chunksize=1
+                            for job, (outcome, snap) in zip(
+                                pending,
+                                pool.map(
+                                    _execute_job_telemetry,
+                                    pending,
+                                    chunksize=1,
+                                ),
                             ):
                                 tel.merge(snap)
-                                outcomes.append(outcome)
+                                self._finish(job, outcome, resolved)
                         else:
-                            outcomes = list(
-                                pool.map(execute_job, pending, chunksize=1)
-                            )
+                            for job, outcome in zip(
+                                pending,
+                                pool.map(execute_job, pending, chunksize=1),
+                            ):
+                                self._finish(job, outcome, resolved)
                     self._parallel_executed += len(pending)
                     if tel.enabled:
                         tel.counter("engine_jobs_parallel_total").inc(
@@ -350,23 +364,31 @@ class Engine:
                     # In-process execution gets the full worker budget:
                     # a lone segmented job can spend it on speculative
                     # shard fan-out instead of job-level parallelism.
-                    outcomes = [
-                        _replay_trace(
+                    for job in pending:
+                        outcome = _replay_trace(
                             job,
                             self.trace(*job.trace_key),
                             segments=self._segments,
                             workers=workers,
                             speculation=self.speculation,
                         )
-                        for job in pending
-                    ]
-                self._executed += len(pending)
-                for job, outcome in zip(pending, outcomes):
-                    fp = job.fingerprint
-                    resolved[fp] = outcome
-                    self._replays.put(fp, outcome)
+                        self._finish(job, outcome, resolved)
 
             return [resolved[fp] for fp in fingerprints]
+
+    def _finish(self, job: SimJob, outcome: ReplayOutcome, resolved) -> None:
+        """Land one executed outcome: cache, tally, and sink it.
+
+        Called per outcome *as it completes* (not after the batch), so
+        an interrupted run keeps everything finished so far -- the
+        crash-resume contract of the sweep layer.
+        """
+        fp = job.fingerprint
+        resolved[fp] = outcome
+        self._replays.put(fp, outcome)
+        self._executed += 1
+        if self.result_sink is not None:
+            self.result_sink(job, outcome)
 
     def stream(self, job: SimJob, segment_size: Optional[int] = None):
         """Replay ``job`` with bounded memory; aggregates, keeps no events.

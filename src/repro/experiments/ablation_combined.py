@@ -26,7 +26,7 @@ from repro.experiments.common import (
     run_jobs,
 )
 
-__all__ = ["FusionRow", "CombinedAblationResult", "run"]
+__all__ = ["FusionRow", "CombinedAblationResult", "jobs", "run"]
 
 _PERCEPTRON = EstimatorSpec.of("perceptron", threshold=0)
 _JRS = EstimatorSpec.of("jrs", threshold=7)
@@ -97,17 +97,21 @@ class CombinedAblationResult:
         )
 
 
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    return [
+        job_for(settings, name, spec)
+        for _, spec in _candidates()
+        for name in settings.benchmarks
+    ]
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> CombinedAblationResult:
     """Measure each fusion over the configured benchmarks."""
     candidates = _candidates()
-    jobs = [
-        job_for(settings, name, spec)
-        for _, spec in candidates
-        for name in settings.benchmarks
-    ]
-    outcomes = iter(run_jobs(jobs))
+    outcomes = iter(run_jobs(jobs(settings)))
     rows: List[FusionRow] = []
     for label, _ in candidates:
         total = ConfidenceMatrix()

@@ -36,7 +36,7 @@ from repro.experiments.common import (
     run_jobs,
 )
 
-__all__ = ["HistoryReachRow", "HistoryAblationResult", "run",
+__all__ = ["HistoryReachRow", "HistoryAblationResult", "jobs", "run",
            "HISTORY_LENGTHS"]
 
 HISTORY_LENGTHS: Tuple[int, ...] = (6, 10, 14, 18)
@@ -88,12 +88,10 @@ class HistoryAblationResult:
         )
 
 
-def run(
-    settings: ExperimentSettings = DEFAULT_SETTINGS,
-) -> HistoryAblationResult:
-    """Sweep the baseline predictor's gshare history length."""
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
     estimator = EstimatorSpec.of("perceptron", threshold=0)
-    jobs = [
+    return [
         job_for(
             settings, name, estimator,
             predictor=PredictorSpec.of(
@@ -103,7 +101,13 @@ def run(
         for history in HISTORY_LENGTHS
         for name in settings.benchmarks
     ]
-    outcomes = iter(run_jobs(jobs))
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> HistoryAblationResult:
+    """Sweep the baseline predictor's gshare history length."""
+    outcomes = iter(run_jobs(jobs(settings)))
     rows: List[HistoryReachRow] = []
     for history in HISTORY_LENGTHS:
         total = ConfidenceMatrix()

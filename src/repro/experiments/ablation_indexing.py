@@ -24,7 +24,7 @@ from repro.experiments.common import (
     run_jobs,
 )
 
-__all__ = ["IndexingRow", "IndexingAblationResult", "run"]
+__all__ = ["IndexingRow", "IndexingAblationResult", "jobs", "run"]
 
 
 def _candidates() -> List[Tuple[str, EstimatorSpec]]:
@@ -95,17 +95,21 @@ class IndexingAblationResult:
         )
 
 
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    return [
+        job_for(settings, name, spec)
+        for _, spec in _candidates()
+        for name in settings.benchmarks
+    ]
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> IndexingAblationResult:
     """Compare indexing schemes over the configured benchmarks."""
     candidates = _candidates()
-    jobs = [
-        job_for(settings, name, spec)
-        for _, spec in candidates
-        for name in settings.benchmarks
-    ]
-    outcomes = iter(run_jobs(jobs))
+    outcomes = iter(run_jobs(jobs(settings)))
     rows: List[IndexingRow] = []
     for label, spec in candidates:
         total = ConfidenceMatrix()

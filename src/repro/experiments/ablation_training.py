@@ -25,7 +25,7 @@ from repro.experiments.common import (
     run_jobs,
 )
 
-__all__ = ["TrainingThresholdRow", "TrainingAblationResult", "run",
+__all__ = ["TrainingThresholdRow", "TrainingAblationResult", "jobs", "run",
            "T_VALUES"]
 
 T_VALUES: Tuple[int, ...] = (16, 32, 64, 96, 160)
@@ -79,23 +79,27 @@ class TrainingAblationResult:
         )
 
 
+def jobs(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    benchmark: str = "gzip",
+) -> List:
+    """Every :class:`SimJob` this experiment submits (the T ladder)."""
+    return [
+        job_for(
+            settings, benchmark,
+            EstimatorSpec.of("perceptron", threshold=0, training_threshold=t),
+            collect_outputs=True,
+        )
+        for t in T_VALUES
+    ]
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     benchmark: str = "gzip",
 ) -> TrainingAblationResult:
     """Sweep T on one benchmark, measuring density position and metrics."""
-    outcomes = run_jobs(
-        [
-            job_for(
-                settings, benchmark,
-                EstimatorSpec.of(
-                    "perceptron", threshold=0, training_threshold=t
-                ),
-                collect_outputs=True,
-            )
-            for t in T_VALUES
-        ]
-    )
+    outcomes = run_jobs(jobs(settings, benchmark=benchmark))
     rows: List[TrainingThresholdRow] = []
     for t_value, (_, frontend) in zip(T_VALUES, outcomes):
         cb = np.asarray(frontend.outputs_correct)

@@ -25,7 +25,7 @@ from repro.experiments.common import (
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 from repro.pipeline.energy import EnergyModel
 
-__all__ = ["EnergyRow", "EnergyResult", "run", "THRESHOLDS"]
+__all__ = ["EnergyRow", "EnergyResult", "jobs", "run", "THRESHOLDS"]
 
 THRESHOLDS = (25, 0, -25, -50)
 
@@ -73,27 +73,38 @@ class EnergyResult:
         )
 
 
-def run(
-    settings: ExperimentSettings = DEFAULT_SETTINGS,
-    config: PipelineConfig = BASELINE_40X4,
-    model: EnergyModel = EnergyModel(),
-) -> EnergyResult:
-    """Evaluate energy/EDP savings across the threshold ladder."""
-    jobs = []
+def _grid(settings: ExperimentSettings):
+    """(keys, jobs) for the (benchmark x lambda) grid, in order."""
+    batch = []
     keys = []
     for name in settings.benchmarks:
         keys.append((name, None))
-        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        batch.append(job_for(settings, name, ALWAYS_HIGH))
         for lam in THRESHOLDS:
             keys.append((name, lam))
-            jobs.append(
+            batch.append(
                 job_for(
                     settings, name,
                     EstimatorSpec.of("perceptron", threshold=lam),
                     policy=GATING_POLICY,
                 )
             )
-    outcomes = dict(zip(keys, run_jobs(jobs)))
+    return keys, batch
+
+
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    return _grid(settings)[1]
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    config: PipelineConfig = BASELINE_40X4,
+    model: EnergyModel = EnergyModel(),
+) -> EnergyResult:
+    """Evaluate energy/EDP savings across the threshold ladder."""
+    keys, batch = _grid(settings)
+    outcomes = dict(zip(keys, run_jobs(batch)))
 
     gated = config.with_gating(1)
     samples = {t: [] for t in THRESHOLDS}

@@ -24,10 +24,11 @@ from repro.engine import EstimatorSpec
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    replay_benchmark,
+    job_for,
+    run_jobs,
 )
 
-__all__ = ["DensityResult", "run"]
+__all__ = ["DensityResult", "jobs", "run"]
 
 #: The paper plots gcc; other benchmarks "show similar behavior".
 DEFAULT_BENCHMARK = "gcc"
@@ -86,6 +87,28 @@ class DensityResult:
         return "\n".join(lines)
 
 
+def jobs(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    benchmark: str = DEFAULT_BENCHMARK,
+    mode: str = "cic",
+) -> list:
+    """The single :class:`SimJob` this experiment submits.
+
+    Thresholds only affect classification bookkeeping, not the recorded
+    raw outputs; use the paper's lambda=0 (cic) and a conventional
+    magnitude threshold (tnt).
+    """
+    threshold = 0.0 if mode == "cic" else 30.0
+    return [
+        job_for(
+            settings,
+            benchmark,
+            EstimatorSpec.of("perceptron", threshold=threshold, mode=mode),
+            collect_outputs=True,
+        )
+    ]
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     benchmark: str = DEFAULT_BENCHMARK,
@@ -98,16 +121,7 @@ def run(
     ``mode="cic"`` reproduces Figures 4/5; :mod:`figure6_7` calls this
     with ``mode="tnt"``.
     """
-    # Thresholds here only affect classification bookkeeping, not the
-    # recorded raw outputs; use the paper's lambda=0 (cic) and a
-    # conventional magnitude threshold (tnt).
-    threshold = 0.0 if mode == "cic" else 30.0
-    _, frontend = replay_benchmark(
-        benchmark,
-        settings,
-        estimator=EstimatorSpec.of("perceptron", threshold=threshold, mode=mode),
-        collect_outputs=True,
-    )
+    _, frontend = run_jobs(jobs(settings, benchmark=benchmark, mode=mode))[0]
     density = OutputDensity.from_frontend_result(frontend)
     regions = density.three_regions(
         reverse_threshold=reverse_threshold, gate_threshold=gate_threshold

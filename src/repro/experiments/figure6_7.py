@@ -24,7 +24,7 @@ from repro.analysis.density import OutputDensity
 from repro.experiments import figure4_5
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 
-__all__ = ["TntDensityResult", "run", "ZOOM_RANGE"]
+__all__ = ["TntDensityResult", "jobs", "run", "ZOOM_RANGE"]
 
 #: Figure 7's zoom window.
 ZOOM_RANGE = (-50.0, 50.0)
@@ -58,6 +58,14 @@ class TntDensityResult:
                 f"  crossover: {self.crossover} (paper: none exists)",
             ]
         )
+
+
+def jobs(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    benchmark: str = figure4_5.DEFAULT_BENCHMARK,
+) -> list:
+    """Every :class:`SimJob` this experiment submits (the tnt density)."""
+    return figure4_5.jobs(settings, benchmark=benchmark, mode="tnt")
 
 
 def run(

@@ -27,7 +27,7 @@ from repro.experiments.common import (
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 
-__all__ = ["Figure8Row", "Figure8Result", "run", "REVERSE_THRESHOLD",
+__all__ = ["Figure8Row", "Figure8Result", "jobs", "run", "REVERSE_THRESHOLD",
            "GATE_THRESHOLD", "BRANCH_COUNTER"]
 
 #: Section 5.5 chooses thresholds empirically from the Figure 5 density
@@ -101,23 +101,32 @@ class Figure8Result:
         )
 
 
-def run(
-    settings: ExperimentSettings = DEFAULT_SETTINGS,
-    config: PipelineConfig = BASELINE_40X4,
-) -> Figure8Result:
-    """Reproduce Figure 8 (or Figure 9 when given the wide config)."""
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order.
+
+    :mod:`figure9` shares these jobs exactly (it differs only in the
+    pipeline configuration, which is post-processing).
+    """
     estimator = EstimatorSpec.of(
         "perceptron",
         threshold=GATE_THRESHOLD,
         strong_threshold=REVERSE_THRESHOLD,
     )
-    jobs = []
+    batch = []
     for name in settings.benchmarks:
-        jobs.append(job_for(settings, name, ALWAYS_HIGH))
-        jobs.append(
+        batch.append(job_for(settings, name, ALWAYS_HIGH))
+        batch.append(
             job_for(settings, name, estimator, policy=THREE_REGION_POLICY)
         )
-    outcomes = run_jobs(jobs)
+    return batch
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    config: PipelineConfig = BASELINE_40X4,
+) -> Figure8Result:
+    """Reproduce Figure 8 (or Figure 9 when given the wide config)."""
+    outcomes = run_jobs(jobs(settings))
 
     gated_config = config.with_gating(BRANCH_COUNTER)
     rows: List[Figure8Row] = []

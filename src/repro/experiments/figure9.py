@@ -13,7 +13,12 @@ from repro.experiments import figure8
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 from repro.pipeline.config import WIDE_20X8
 
-__all__ = ["run"]
+__all__ = ["jobs", "run"]
+
+
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list:
+    """Figure 9 replays exactly Figure 8's jobs (different machine)."""
+    return figure8.jobs(settings)
 
 
 def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> figure8.Figure8Result:

@@ -26,7 +26,7 @@ from repro.experiments.common import (
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 
-__all__ = ["LatencyRow", "LatencyResult", "run", "LATENCIES"]
+__all__ = ["LatencyRow", "LatencyResult", "jobs", "run", "LATENCIES"]
 
 #: Estimator latencies to compare (cycles); 1 = ideal, 9 = estimated
 #: pipelined perceptron.
@@ -77,6 +77,18 @@ class LatencyResult:
         )
 
 
+def jobs(
+    settings: ExperimentSettings = DEFAULT_SETTINGS, threshold: float = 0.0
+) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    estimator = EstimatorSpec.of("perceptron", threshold=threshold)
+    batch = []
+    for name in settings.benchmarks:
+        batch.append(job_for(settings, name, ALWAYS_HIGH))
+        batch.append(job_for(settings, name, estimator, policy=GATING_POLICY))
+    return batch
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     config: PipelineConfig = BASELINE_40X4,
@@ -87,12 +99,7 @@ def run(
     The front-end replay is shared across latencies: estimator latency
     is purely a timing-model parameter.
     """
-    estimator = EstimatorSpec.of("perceptron", threshold=threshold)
-    jobs = []
-    for name in settings.benchmarks:
-        jobs.append(job_for(settings, name, ALWAYS_HIGH))
-        jobs.append(job_for(settings, name, estimator, policy=GATING_POLICY))
-    outcomes = run_jobs(jobs)
+    outcomes = run_jobs(jobs(settings, threshold=threshold))
 
     samples = {lat: [] for lat in LATENCIES}
     for i, name in enumerate(settings.benchmarks):

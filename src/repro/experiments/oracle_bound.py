@@ -25,7 +25,7 @@ from repro.experiments.common import (
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 
-__all__ = ["OracleRow", "OracleBoundResult", "run"]
+__all__ = ["OracleRow", "OracleBoundResult", "jobs", "run"]
 
 #: (coverage, accuracy) oracle operating points.
 ORACLE_POINTS: Tuple[Tuple[float, float], ...] = (
@@ -75,17 +75,22 @@ class OracleBoundResult:
         )
 
 
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    perceptron = EstimatorSpec.of("perceptron", threshold=0)
+    batch = []
+    for name in settings.benchmarks:
+        batch.append(job_for(settings, name, ALWAYS_HIGH))
+        batch.append(job_for(settings, name, perceptron, policy=GATING_POLICY))
+    return batch
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     config: PipelineConfig = BASELINE_40X4,
 ) -> OracleBoundResult:
     """Measure gating U/P for oracle ladders and the real estimator."""
-    perceptron = EstimatorSpec.of("perceptron", threshold=0)
-    jobs = []
-    for name in settings.benchmarks:
-        jobs.append(job_for(settings, name, ALWAYS_HIGH))
-        jobs.append(job_for(settings, name, perceptron, policy=GATING_POLICY))
-    outcomes = run_jobs(jobs)
+    outcomes = run_jobs(jobs(settings))
 
     policy = GatingOnlyPolicy()
     gated = config.with_gating(1)

@@ -54,8 +54,9 @@ from repro.experiments import (
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 
 __all__ = ["PAPER_EXPERIMENTS", "EXTENSION_EXPERIMENTS", "EXPERIMENTS",
-           "ExperimentRecord", "RunReport", "select_experiments",
-           "resolve_settings", "run_all", "main"]
+           "EXPERIMENT_JOBS", "SUITES", "ExperimentRecord", "RunReport",
+           "select_experiments", "resolve_suite", "resolve_settings",
+           "run_all", "main"]
 
 #: The paper's tables and figures.
 PAPER_EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], object]] = {
@@ -91,6 +92,58 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], object]] = {
     **PAPER_EXPERIMENTS,
     **EXTENSION_EXPERIMENTS,
 }
+
+#: Per-experiment job planners: each returns the exact ``SimJob`` list
+#: its ``run()`` submits (empty for in-process experiments like
+#: ``warmup_curve``).  The sweep layer expands these into a DAG without
+#: executing anything (see :mod:`repro.sweeps`).
+EXPERIMENT_JOBS: Dict[str, Callable[[ExperimentSettings], list]] = {
+    "table2": table2.jobs,
+    "table3": table3.jobs,
+    "table4": table4.jobs,
+    "table5": table5.jobs,
+    "table6": table6.jobs,
+    "figure4_5": figure4_5.jobs,
+    "figure6_7": figure6_7.jobs,
+    "figure8": figure8.jobs,
+    "figure9": figure9.jobs,
+    "latency": latency.jobs,
+    "oracle_bound": oracle_bound.jobs,
+    "energy": energy.jobs,
+    "smt": smt.jobs,
+    "ablation_training": ablation_training.jobs,
+    "ablation_combined": ablation_combined.jobs,
+    "ablation_history": ablation_history.jobs,
+    "ablation_indexing": ablation_indexing.jobs,
+    "seed_stability": seed_stability.jobs,
+    "throttle": throttle.jobs,
+    "warmup_curve": warmup_curve.jobs,
+}
+
+#: Legacy suite names, kept as a back-compat shim for the retired
+#: ``experiments_*.txt`` console logs: each maps to the experiment list
+#: that produced the corresponding log, in its original order.  The
+#: same groupings live on as checked-in sweep specs
+#: (``src/repro/sweeps/specs/``).
+SUITES: Dict[str, tuple] = {
+    "full": tuple(PAPER_EXPERIMENTS),
+    "fig89": ("figure8", "figure9", "figure6_7"),
+    "ext": ("oracle_bound", "energy", "smt", "ablation_training",
+            "ablation_combined"),
+    "ext2": ("ablation_history", "seed_stability"),
+    "ext3": ("ablation_indexing",),
+    "ext4": ("throttle",),
+}
+
+
+def resolve_suite(name: str) -> List[str]:
+    """Experiment ids for one legacy suite name."""
+    try:
+        return list(SUITES[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {name!r}; known suites: {', '.join(SUITES)}"
+        ) from None
 
 
 @dataclass
@@ -257,6 +310,19 @@ def main(argv=None) -> int:
         help=f"experiment ids to run (default: all of {', '.join(EXPERIMENTS)})",
     )
     parser.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        metavar="NAME",
+        choices=sorted(SUITES),
+        help=(
+            "prepend a legacy suite's experiments to the selection "
+            f"(one of: {', '.join(SUITES)}; repeatable); these mirror "
+            "the retired experiments_*.txt groupings, now checked in "
+            "as sweep specs under src/repro/sweeps/specs/"
+        ),
+    )
+    parser.add_argument(
         "--extensions",
         action="store_true",
         help=(
@@ -358,6 +424,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.suite:
+        suite_ids = [
+            name for suite in args.suite for name in resolve_suite(suite)
+        ]
+        args.experiments = suite_ids + [
+            n for n in args.experiments if n not in suite_ids
+        ]
     if args.verify:
         from repro.verify.cli import run_verification
 

@@ -24,7 +24,7 @@ from repro.experiments.common import (
     run_jobs,
 )
 
-__all__ = ["StabilityResult", "run", "DEFAULT_SEEDS"]
+__all__ = ["StabilityResult", "jobs", "run", "DEFAULT_SEEDS"]
 
 DEFAULT_SEEDS: Tuple[int, ...] = (1, 2, 3, 5, 8)
 
@@ -61,25 +61,38 @@ class StabilityResult:
         )
 
 
+def _seed_jobs(settings: ExperimentSettings, seed: int) -> List:
+    """One seed's job batch (perceptron + JRS per benchmark)."""
+    from dataclasses import replace
+
+    seeded = replace(settings, seed=seed)
+    batch = []
+    for name in seeded.benchmarks:
+        batch.append(
+            job_for(seeded, name, EstimatorSpec.of("perceptron", threshold=0))
+        )
+        batch.append(
+            job_for(seeded, name, EstimatorSpec.of("jrs", threshold=7))
+        )
+    return batch
+
+
+def jobs(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> List:
+    """Every :class:`SimJob` this experiment submits, across seeds."""
+    return [job for seed in seeds for job in _seed_jobs(settings, seed)]
+
+
 def _measure_headline(
     settings: ExperimentSettings, seed: int
 ) -> dict:
     """Table 3 middle-threshold metrics for one seed."""
-    from dataclasses import replace
-
-    seeded = replace(settings, seed=seed)
-    jobs = []
-    for name in seeded.benchmarks:
-        jobs.append(
-            job_for(seeded, name, EstimatorSpec.of("perceptron", threshold=0))
-        )
-        jobs.append(
-            job_for(seeded, name, EstimatorSpec.of("jrs", threshold=7))
-        )
-    outcomes = run_jobs(jobs)
+    outcomes = run_jobs(_seed_jobs(settings, seed))
     perc = ConfidenceMatrix()
     jrs = ConfidenceMatrix()
-    for i in range(len(seeded.benchmarks)):
+    for i in range(len(settings.benchmarks)):
         perc = perc.merge(outcomes[2 * i].result.metrics.overall)
         jrs = jrs.merge(outcomes[2 * i + 1].result.metrics.overall)
     ratio = perc.pvn / jrs.pvn if jrs.pvn else float("inf")

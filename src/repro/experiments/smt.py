@@ -28,7 +28,7 @@ from repro.experiments.common import (
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 from repro.pipeline.smt import SmtSimulator
 
-__all__ = ["SmtRow", "SmtResult", "run", "DEFAULT_PAIRS"]
+__all__ = ["SmtRow", "SmtResult", "jobs", "run", "DEFAULT_PAIRS"]
 
 #: Thread pairings: dirty+clean, dirty+dirty, clean+clean.
 DEFAULT_PAIRS: Tuple[Tuple[str, str], ...] = (
@@ -89,6 +89,20 @@ class SmtResult:
         )
 
 
+def jobs(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    pairs: Tuple[Tuple[str, str], ...] = DEFAULT_PAIRS,
+    threshold: float = 0.0,
+) -> List:
+    """Every :class:`SimJob` this experiment submits (sorted threads)."""
+    estimator = EstimatorSpec.of("perceptron", threshold=threshold)
+    names = sorted({name for pair in pairs for name in pair})
+    return [
+        job_for(settings, name, estimator, policy=GATING_POLICY)
+        for name in names
+    ]
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     config: PipelineConfig = BASELINE_40X4,
@@ -97,14 +111,8 @@ def run(
 ) -> SmtResult:
     """Co-run benchmark pairs through the SMT front end."""
     smt_config = config.with_gating(1)
-    estimator = EstimatorSpec.of("perceptron", threshold=threshold)
     names = sorted({name for pair in pairs for name in pair})
-    outcomes = run_jobs(
-        [
-            job_for(settings, name, estimator, policy=GATING_POLICY)
-            for name in names
-        ]
-    )
+    outcomes = run_jobs(jobs(settings, pairs=pairs, threshold=threshold))
     events = {name: out.events for name, out in zip(names, outcomes)}
 
     rows: List[SmtRow] = []

@@ -26,7 +26,7 @@ from repro.experiments.common import (
 from repro.pipeline.config import PIPELINE_PRESETS
 from repro.trace.benchmarks import TABLE2_MISPREDICTS_PER_KUOP
 
-__all__ = ["Table2Row", "Table2Result", "run"]
+__all__ = ["Table2Row", "Table2Result", "jobs", "run"]
 
 #: Paper's machine order (columns of Table 2).
 MACHINES = ("20c4w", "20c8w", "40c4w")
@@ -87,6 +87,11 @@ class Table2Result:
         )
 
 
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    return [job_for(settings, name, ALWAYS_HIGH) for name in settings.benchmarks]
+
+
 def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table2Result:
     """Reproduce Table 2.
 
@@ -96,8 +101,7 @@ def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table2Result:
     goes through the engine in one call, so replays are cached for the
     other experiments and fan out under ``--jobs``.
     """
-    jobs = [job_for(settings, name, ALWAYS_HIGH) for name in settings.benchmarks]
-    outcomes = run_jobs(jobs)
+    outcomes = run_jobs(jobs(settings))
     rows: List[Table2Row] = []
     for name, (events, _) in zip(settings.benchmarks, outcomes):
         increases: Dict[str, float] = {}

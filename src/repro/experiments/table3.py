@@ -26,7 +26,7 @@ from repro.experiments.common import (
     run_jobs,
 )
 
-__all__ = ["Table3Point", "Table3Result", "run", "JRS_THRESHOLDS",
+__all__ = ["Table3Point", "Table3Result", "jobs", "run", "JRS_THRESHOLDS",
            "PERCEPTRON_THRESHOLDS"]
 
 #: Threshold ladders from Table 3.
@@ -126,14 +126,9 @@ def _ladder_points(
     return points
 
 
-def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table3Result:
-    """Reproduce Table 3 over the configured benchmarks.
-
-    Both threshold ladders are described up front as one job batch --
-    (estimator x threshold x benchmark) -- and executed in a single
-    engine call.
-    """
-    ladder = []  # (ladder id, threshold, job) in deterministic order
+def _ladder(settings: ExperimentSettings):
+    """(ladder id, threshold, job) triples in deterministic order."""
+    ladder = []
     for t in JRS_THRESHOLDS:
         spec = EstimatorSpec.of("jrs", threshold=int(t))
         for name in settings.benchmarks:
@@ -142,7 +137,22 @@ def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table3Result:
         spec = EstimatorSpec.of("perceptron", threshold=t)
         for name in settings.benchmarks:
             ladder.append(("perceptron", t, job_for(settings, name, spec)))
+    return ladder
 
+
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    return [job for _, _, job in _ladder(settings)]
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table3Result:
+    """Reproduce Table 3 over the configured benchmarks.
+
+    Both threshold ladders are described up front as one job batch --
+    (estimator x threshold x benchmark) -- and executed in a single
+    engine call.
+    """
+    ladder = _ladder(settings)
     outcomes = run_jobs([job for _, _, job in ladder])
     grouped: Dict[str, Dict[float, list]] = {"jrs": {}, "perceptron": {}}
     for (ladder_id, threshold, _), outcome in zip(ladder, outcomes):

@@ -28,7 +28,7 @@ from repro.experiments.common import (
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 
-__all__ = ["GatingCell", "Table4Result", "run"]
+__all__ = ["GatingCell", "Table4Result", "jobs", "run"]
 
 JRS_THRESHOLDS = (3, 7, 11, 15)
 PERCEPTRON_THRESHOLDS = (25, 0, -25, -50)
@@ -103,21 +103,13 @@ def _average(cells_by_benchmark: List[Tuple[float, float]]) -> Tuple[float, floa
     return u, p
 
 
-def run(
-    settings: ExperimentSettings = DEFAULT_SETTINGS,
-    config: PipelineConfig = BASELINE_40X4,
-) -> Table4Result:
-    """Reproduce Table 4.
+def _grid(settings: ExperimentSettings) -> List[Tuple[str, str, float, object]]:
+    """(benchmark, estimator, lambda, job) cells in deterministic order.
 
-    Per benchmark, the ungated baseline is replayed once; each
-    estimator threshold is replayed once and its event stream reused
-    across branch-counter thresholds (the PL knob lives in the pipeline
-    configuration, not the front-end).  The whole (benchmark x
-    estimator x lambda) grid is one engine batch.
+    Per benchmark, one baseline job plus one job per (estimator,
+    lambda) -- the front-end does not see PL.
     """
-    # Describe the grid: per benchmark, one baseline job plus one job
-    # per (estimator, lambda) -- the front-end does not see PL.
-    grid: List[Tuple[str, str, float, object]] = []  # (bench, est, lam, job)
+    grid: List[Tuple[str, str, float, object]] = []
     for name in settings.benchmarks:
         grid.append((name, "base", 0.0, job_for(settings, name, ALWAYS_HIGH)))
         for lam in JRS_THRESHOLDS:
@@ -136,6 +128,27 @@ def run(
                     policy=GATING_POLICY,
                 ))
             )
+    return grid
+
+
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    return [job for _, _, _, job in _grid(settings)]
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    config: PipelineConfig = BASELINE_40X4,
+) -> Table4Result:
+    """Reproduce Table 4.
+
+    Per benchmark, the ungated baseline is replayed once; each
+    estimator threshold is replayed once and its event stream reused
+    across branch-counter thresholds (the PL knob lives in the pipeline
+    configuration, not the front-end).  The whole (benchmark x
+    estimator x lambda) grid is one engine batch.
+    """
+    grid = _grid(settings)
     outcomes = dict(
         zip(
             ((n, e, l) for n, e, l, _ in grid),

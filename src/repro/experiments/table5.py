@@ -28,7 +28,7 @@ from repro.experiments.common import (
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 
-__all__ = ["Table5Row", "Table5Result", "run"]
+__all__ = ["Table5Row", "Table5Result", "jobs", "run"]
 
 #: Threshold ladders as in Table 5.
 BIMODAL_GSHARE_THRESHOLDS = (25, 0, -25, -50)
@@ -86,21 +86,28 @@ class Table5Result:
         )
 
 
-def _ladder(
+#: The two predictor ladders: (label, predictor factory name, thresholds).
+LADDERS = (
+    ("bimodal-gshare", "baseline_hybrid", BIMODAL_GSHARE_THRESHOLDS),
+    ("gshare-perceptron", "gshare_perceptron_hybrid",
+     GSHARE_PERCEPTRON_THRESHOLDS),
+)
+
+
+def _ladder_batch(
     settings: ExperimentSettings,
-    config: PipelineConfig,
-    label: str,
     predictor: PredictorSpec,
     thresholds,
-) -> List[Table5Row]:
-    jobs = []
+):
+    """(keys, jobs) for one predictor ladder, in deterministic order."""
+    batch = []
     keys = []  # (benchmark, lambda-or-None for the baseline)
     for name in settings.benchmarks:
         keys.append((name, None))
-        jobs.append(job_for(settings, name, ALWAYS_HIGH, predictor=predictor))
+        batch.append(job_for(settings, name, ALWAYS_HIGH, predictor=predictor))
         for lam in thresholds:
             keys.append((name, lam))
-            jobs.append(
+            batch.append(
                 job_for(
                     settings, name,
                     EstimatorSpec.of("perceptron", threshold=lam),
@@ -108,7 +115,29 @@ def _ladder(
                     predictor=predictor,
                 )
             )
-    outcomes = dict(zip(keys, run_jobs(jobs)))
+    return keys, batch
+
+
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    out = []
+    for _, predictor_name, thresholds in LADDERS:
+        _, batch = _ladder_batch(
+            settings, PredictorSpec.of(predictor_name), thresholds
+        )
+        out.extend(batch)
+    return out
+
+
+def _ladder(
+    settings: ExperimentSettings,
+    config: PipelineConfig,
+    label: str,
+    predictor: PredictorSpec,
+    thresholds,
+) -> List[Table5Row]:
+    keys, batch = _ladder_batch(settings, predictor, thresholds)
+    outcomes = dict(zip(keys, run_jobs(batch)))
 
     samples: Dict[float, List[Tuple[float, float]]] = {t: [] for t in thresholds}
     kuops: List[float] = []
@@ -146,18 +175,10 @@ def run(
     config: PipelineConfig = BASELINE_40X4,
 ) -> Table5Result:
     """Reproduce Table 5 (both baseline predictors)."""
-    rows = _ladder(
-        settings,
-        config,
-        "bimodal-gshare",
-        PredictorSpec.of("baseline_hybrid"),
-        BIMODAL_GSHARE_THRESHOLDS,
-    )
-    rows += _ladder(
-        settings,
-        config,
-        "gshare-perceptron",
-        PredictorSpec.of("gshare_perceptron_hybrid"),
-        GSHARE_PERCEPTRON_THRESHOLDS,
-    )
+    rows: List[Table5Row] = []
+    for label, predictor_name, thresholds in LADDERS:
+        rows += _ladder(
+            settings, config, label, PredictorSpec.of(predictor_name),
+            thresholds,
+        )
     return Table5Result(rows=rows)

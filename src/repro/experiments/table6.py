@@ -25,7 +25,8 @@ from repro.experiments.common import (
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 
-__all__ = ["SizeConfig", "Table6Row", "Table6Result", "run", "CONFIGURATIONS"]
+__all__ = ["SizeConfig", "Table6Row", "Table6Result", "jobs", "run",
+           "CONFIGURATIONS"]
 
 
 @dataclass(frozen=True)
@@ -107,25 +108,16 @@ class Table6Result:
         )
 
 
-def run(
-    settings: ExperimentSettings = DEFAULT_SETTINGS,
-    config: PipelineConfig = BASELINE_40X4,
-    threshold: float = 0.0,
-) -> Table6Result:
-    """Reproduce Table 6.
-
-    Every configuration uses the same gating setup (PL1) and estimator
-    threshold; only the perceptron array geometry changes.  One engine
-    batch covers the whole (benchmark x geometry) grid.
-    """
-    jobs = []
+def _grid(settings: ExperimentSettings, threshold: float):
+    """(keys, jobs) for the (benchmark x geometry) grid, in order."""
+    batch = []
     keys = []  # (benchmark, config label or None for the baseline)
     for name in settings.benchmarks:
         keys.append((name, None))
-        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        batch.append(job_for(settings, name, ALWAYS_HIGH))
         for _, size in CONFIGURATIONS:
             keys.append((name, size.label))
-            jobs.append(
+            batch.append(
                 job_for(
                     settings, name,
                     EstimatorSpec.of(
@@ -138,7 +130,29 @@ def run(
                     policy=GATING_POLICY,
                 )
             )
-    outcomes = dict(zip(keys, run_jobs(jobs)))
+    return keys, batch
+
+
+def jobs(
+    settings: ExperimentSettings = DEFAULT_SETTINGS, threshold: float = 0.0
+) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    return _grid(settings, threshold)[1]
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    config: PipelineConfig = BASELINE_40X4,
+    threshold: float = 0.0,
+) -> Table6Result:
+    """Reproduce Table 6.
+
+    Every configuration uses the same gating setup (PL1) and estimator
+    threshold; only the perceptron array geometry changes.  One engine
+    batch covers the whole (benchmark x geometry) grid.
+    """
+    keys, batch = _grid(settings, threshold)
+    outcomes = dict(zip(keys, run_jobs(batch)))
 
     samples: Dict[str, List[Tuple[float, float]]] = {}
     for name in settings.benchmarks:

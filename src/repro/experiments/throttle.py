@@ -24,7 +24,7 @@ from repro.experiments.common import (
 )
 from repro.pipeline.config import BASELINE_40X4, PipelineConfig
 
-__all__ = ["ThrottleRow", "ThrottleResult", "run", "MECHANISMS"]
+__all__ = ["ThrottleRow", "ThrottleResult", "jobs", "run", "MECHANISMS"]
 
 #: (label, gating_mode, throttle_factor)
 MECHANISMS: Tuple[Tuple[str, str, float], ...] = (
@@ -76,26 +76,37 @@ class ThrottleResult:
         )
 
 
-def run(
-    settings: ExperimentSettings = DEFAULT_SETTINGS,
-    config: PipelineConfig = BASELINE_40X4,
-) -> ThrottleResult:
-    """Compare stall vs throttle mechanisms at two thresholds."""
-    jobs = []
+def _grid(settings: ExperimentSettings):
+    """(keys, jobs) for the (benchmark x lambda) grid, in order."""
+    batch = []
     keys = []
     for name in settings.benchmarks:
         keys.append((name, None))
-        jobs.append(job_for(settings, name, ALWAYS_HIGH))
+        batch.append(job_for(settings, name, ALWAYS_HIGH))
         for lam in THRESHOLDS:
             keys.append((name, lam))
-            jobs.append(
+            batch.append(
                 job_for(
                     settings, name,
                     EstimatorSpec.of("perceptron", threshold=lam),
                     policy=GATING_POLICY,
                 )
             )
-    outcomes = dict(zip(keys, run_jobs(jobs)))
+    return keys, batch
+
+
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """Every :class:`SimJob` this experiment submits, in order."""
+    return _grid(settings)[1]
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    config: PipelineConfig = BASELINE_40X4,
+) -> ThrottleResult:
+    """Compare stall vs throttle mechanisms at two thresholds."""
+    keys, batch = _grid(settings)
+    outcomes = dict(zip(keys, run_jobs(batch)))
 
     samples = {}
     for name in settings.benchmarks:

@@ -25,7 +25,17 @@ from repro.experiments.common import (
 )
 from repro.predictors.hybrid import make_baseline_hybrid
 
-__all__ = ["WarmupCurveResult", "run"]
+__all__ = ["WarmupCurveResult", "jobs", "run"]
+
+
+def jobs(settings: ExperimentSettings = DEFAULT_SETTINGS) -> List:
+    """No engine jobs: the warm-up curve replays in-process.
+
+    The warm-up *is* the object of study, so this experiment drives a
+    bare :class:`FrontEnd` over the raw trace instead of submitting
+    cacheable :class:`SimJob` s (a job's metrics exclude warm-up).
+    """
+    return []
 
 
 @dataclass

@@ -1,0 +1,37 @@
+"""Queryable, schema-versioned result store and regression gate.
+
+:class:`~repro.results.store.ResultStore` persists every executed
+:class:`~repro.engine.job.SimJob` outcome keyed by fingerprint into a
+sqlite database, alongside rendered experiment records and bench timing
+history.  :mod:`repro.results.gate` compares a fresh bench sample
+against that recorded history and appends ``BENCH_*.json`` trajectory
+points.  See ``docs/sweeps.md``.
+"""
+
+from repro.results.gate import (
+    GateVerdict,
+    append_trajectory,
+    check_regression,
+    load_trajectory,
+)
+from repro.results.store import (
+    STORE_SCHEMA,
+    BenchSample,
+    ExperimentRecord,
+    JobRecord,
+    ResultStore,
+    StoreSchemaError,
+)
+
+__all__ = [
+    "STORE_SCHEMA",
+    "BenchSample",
+    "ExperimentRecord",
+    "JobRecord",
+    "ResultStore",
+    "StoreSchemaError",
+    "GateVerdict",
+    "append_trajectory",
+    "check_regression",
+    "load_trajectory",
+]

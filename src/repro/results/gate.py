@@ -1,0 +1,175 @@
+"""History-backed perf regression gate and ``BENCH_*.json`` trajectories.
+
+A bench run records ``(name, seconds)`` into the
+:class:`~repro.results.store.ResultStore`; the gate compares the fresh
+sample against the *best* recorded history for that name and fails when
+the ratio exceeds ``max_ratio``.  Comparing against the minimum (not
+the mean) keeps the gate monotone: noise can only ever make history
+look slower, never hide a real regression behind a slow outlier.
+
+Each gated run also appends one point to a ``BENCH_<name>.json``
+trajectory file -- the repo's longitudinal perf record, checked in so
+the trend survives CI ephemerality.  The file is schema-versioned JSON
+with no timestamps inside the gated payload (points carry an opaque
+``label`` supplied by the caller, e.g. a git SHA), following the
+golden-baseline idiom: refreshes are byte-stable for identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import telemetry
+from repro.results.store import ResultStore
+from repro.telemetry.spans import log_event
+
+__all__ = [
+    "TRAJECTORY_SCHEMA",
+    "GateVerdict",
+    "append_trajectory",
+    "check_regression",
+    "load_trajectory",
+]
+
+#: Version of the ``BENCH_*.json`` layout.
+TRAJECTORY_SCHEMA = 1
+
+#: Default slowdown ratio (current / best-recorded) that fails the gate.
+DEFAULT_MAX_RATIO = 1.5
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """Outcome of one regression check."""
+
+    name: str
+    seconds: float
+    best: Optional[float]  # best (minimum) historical sample, if any
+    ratio: Optional[float]  # seconds / best, if history exists
+    max_ratio: float
+    passed: bool
+    reason: str
+
+    def format(self) -> str:
+        if self.best is None:
+            return (
+                f"gate[{self.name}]: no history, recorded "
+                f"{self.seconds:.3f}s as the first baseline"
+            )
+        status = "ok" if self.passed else "REGRESSION"
+        return (
+            f"gate[{self.name}]: {status} {self.seconds:.3f}s vs best "
+            f"{self.best:.3f}s (ratio {self.ratio:.2f}, "
+            f"limit {self.max_ratio:.2f})"
+        )
+
+
+def check_regression(
+    store: ResultStore,
+    name: str,
+    seconds: float,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    record: bool = True,
+    meta: Optional[Dict] = None,
+) -> GateVerdict:
+    """Gate ``seconds`` against the recorded history for ``name``.
+
+    The comparison runs against history as it stood *before* this
+    sample; with ``record=True`` (default) the fresh sample is then
+    appended, so a passing run tightens the baseline for the next one.
+    A first-ever sample passes unconditionally (it becomes the
+    baseline).  Failures emit a structured ``log_event`` so the gate's
+    firing is countable in the trace stream.
+    """
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    if max_ratio <= 0:
+        raise ValueError(f"max_ratio must be positive, got {max_ratio}")
+    history = store.bench_history(name)
+    best = min((sample.seconds for sample in history), default=None)
+    if record:
+        store.put_bench(name, seconds, meta)
+    if best is None:
+        verdict = GateVerdict(
+            name=name,
+            seconds=seconds,
+            best=None,
+            ratio=None,
+            max_ratio=max_ratio,
+            passed=True,
+            reason="first sample, recorded as baseline",
+        )
+    else:
+        ratio = seconds / best
+        passed = ratio <= max_ratio
+        verdict = GateVerdict(
+            name=name,
+            seconds=seconds,
+            best=best,
+            ratio=ratio,
+            max_ratio=max_ratio,
+            passed=passed,
+            reason=(
+                "within limit"
+                if passed
+                else f"slowdown ratio {ratio:.2f} exceeds {max_ratio:.2f}"
+            ),
+        )
+    tel = telemetry.get_registry()
+    if tel.enabled:
+        tel.counter(
+            "bench_gate_checks_total",
+            bench=name,
+            verdict="pass" if verdict.passed else "fail",
+        ).inc()
+    if not verdict.passed:
+        log_event(
+            "bench_gate_regression",
+            message="bench sample regressed past the gate limit",
+            bench=name,
+            seconds=seconds,
+            best=best,
+            ratio=verdict.ratio,
+            max_ratio=max_ratio,
+        )
+    return verdict
+
+
+def load_trajectory(path: str) -> List[Dict]:
+    """Points from a ``BENCH_*.json`` file ([] when absent)."""
+    file = Path(path)
+    if not file.exists():
+        return []
+    doc = json.loads(file.read_text())
+    if doc.get("schema") != TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"{path}: trajectory schema {doc.get('schema')!r}, "
+            f"expected {TRAJECTORY_SCHEMA}"
+        )
+    return list(doc.get("points", []))
+
+
+def append_trajectory(
+    path: str,
+    name: str,
+    seconds: float,
+    label: str = "",
+    extra: Optional[Dict] = None,
+) -> List[Dict]:
+    """Append one point to ``path`` and return the full point list.
+
+    The file layout is deterministic (sorted keys, fixed indent, no
+    timestamps unless the caller bakes one into ``label``/``extra``),
+    so identical inputs always produce byte-identical files.
+    """
+    points = load_trajectory(path)
+    point = {"seconds": round(float(seconds), 6), "label": label}
+    if extra:
+        point.update(extra)
+    points.append(point)
+    doc = {"schema": TRAJECTORY_SCHEMA, "name": name, "points": points}
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return points

@@ -1,0 +1,364 @@
+"""``python -m repro.sweeps`` -- declarative sweeps over the store.
+
+Subcommands::
+
+    run    SPEC...   expand spec(s), execute missing work, store results
+    render SPEC...   rebuild the Markdown report purely from the store
+    status           row counts and stored records
+    query            stored job rows, filterable, optionally as JSON
+    bench  SPEC      time the spec's job set, gate against history
+
+Everything is keyed by content (job fingerprints, record keys), so
+re-running ``run`` is always safe: completed work is read back from
+the sqlite store and only missing jobs execute.  The default store
+lives at ``.sweeps/results.sqlite`` with the engine's disk replay
+cache beside it at ``.sweeps/cache``.
+
+Sizing flags (``--quick`` / ``--branches`` / ``--backend``) compose
+exactly as in ``python -m repro.experiments``; instance overrides in
+the spec apply on top.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro import telemetry
+from repro.results import ResultStore, append_trajectory, check_regression
+
+from repro.sweeps.executor import render_from_store, report_markdown, run_sweep
+from repro.sweeps.spec import (
+    SweepSpecError,
+    builtin_spec_names,
+    load_spec,
+)
+
+__all__ = ["main", "DEFAULT_STORE", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_STORE = ".sweeps/results.sqlite"
+DEFAULT_CACHE_DIR = ".sweeps/cache"
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        metavar="PATH",
+        help=f"sqlite result store (default {DEFAULT_STORE})",
+    )
+
+
+def _add_sizing_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run at 1/5 scale for a fast sanity pass",
+    )
+    parser.add_argument(
+        "--branches",
+        type=int,
+        default=None,
+        help="override trace length (warm-up scales to one third)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("reference", "fast"),
+        default=None,
+        help="engine backend for every replay",
+    )
+
+
+def _specs(names: List[str]):
+    return [load_spec(name) for name in names]
+
+
+def _settings(args):
+    from repro.experiments.runner import resolve_settings
+
+    return resolve_settings(
+        quick=args.quick, branches=args.branches, backend=args.backend
+    )
+
+
+def _cmd_run(args) -> int:
+    from repro.engine import configure_engine
+
+    specs = _specs(args.specs)
+    base = _settings(args)
+    configure_engine(
+        max_workers=args.jobs,
+        cache_dir=args.cache_dir,
+        speculation=args.speculation,
+    )
+    if args.telemetry or args.trace_out:
+        telemetry.enable()
+        if args.trace_out:
+            telemetry.set_trace_path(args.trace_out)
+    with ResultStore(args.store) as store:
+        for spec in specs:
+            outcome = run_sweep(spec, store, base, stream=sys.stdout)
+            print(outcome.format())
+        if args.markdown:
+            markdown = "\n".join(
+                render_from_store(spec, store, base) for spec in specs
+            )
+            with open(args.markdown, "w", encoding="utf-8") as fh:
+                fh.write(markdown)
+                fh.write("\n")
+            print(f"wrote Markdown report to {args.markdown}")
+        summary = store.summary()
+    print(
+        f"store {args.store}: {summary['jobs']} job(s), "
+        f"{summary['experiments']} experiment record(s), "
+        f"{summary['bench']} bench sample(s)"
+    )
+    if args.telemetry:
+        print("wrote telemetry metrics to "
+              + telemetry.write_metrics(args.telemetry))
+    if args.trace_out:
+        telemetry.close_trace()
+        print(f"wrote telemetry trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    specs = _specs(args.specs)
+    base = _settings(args)
+    with ResultStore(args.store) as store:
+        try:
+            markdown = "\n".join(
+                render_from_store(spec, store, base) for spec in specs
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(markdown)
+            fh.write("\n")
+        print(f"wrote Markdown report to {args.markdown}")
+    else:
+        print(markdown)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    with ResultStore(args.store) as store:
+        summary = store.summary()
+        records = store.experiment_keys()
+        print(
+            f"store {args.store}: {summary['jobs']} job(s), "
+            f"{summary['experiments']} experiment record(s), "
+            f"{summary['bench']} bench sample(s)"
+        )
+        for key, experiment in records:
+            print(f"  {key[:12]}  {experiment}")
+        print(f"builtin specs: {', '.join(builtin_spec_names())}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    with ResultStore(args.store) as store:
+        records = store.query_jobs(
+            benchmark=args.benchmark, backend=args.query_backend
+        )
+        if args.json:
+            payload = [
+                {
+                    "fingerprint": r.fingerprint,
+                    "benchmark": r.benchmark,
+                    "n_branches": r.n_branches,
+                    "warmup": r.warmup,
+                    "seed": r.seed,
+                    "backend": r.backend,
+                    "metrics": r.metrics,
+                }
+                for r in records
+            ]
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for r in records:
+                print(
+                    f"{r.fingerprint[:12]}  {r.benchmark:<10} "
+                    f"{r.n_branches:>8} br  seed {r.seed}  {r.backend:<9} "
+                    f"mispredictions {r.metrics.get('mispredictions', '?')}"
+                )
+            print(f"{len(records)} job row(s)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.engine.engine import Engine
+
+    spec = load_spec(args.spec)
+    base = _settings(args)
+    from repro.sweeps.dag import SweepDag
+
+    dag = SweepDag.from_spec(spec, base)
+    jobs = dag.job_list()
+    # A private engine with cold caches: the sample must time real
+    # replay work, not the shared engine's warm cache.
+    engine = Engine(max_workers=args.jobs)
+    start = time.monotonic()
+    engine.run(jobs)
+    seconds = time.monotonic() - start
+    if args.inject_slowdown != 1.0:
+        # Mutation-smoke hook: scale the measured sample so tests and
+        # CI can prove the gate fires without a real regression.
+        seconds *= args.inject_slowdown
+        print(f"injected slowdown x{args.inject_slowdown:g} (smoke mode)")
+    name = args.name or f"sweep-{spec.name}"
+    with ResultStore(args.store) as store:
+        verdict = check_regression(
+            store,
+            name,
+            seconds,
+            max_ratio=args.max_ratio,
+            meta={
+                "spec": spec.name,
+                "jobs": len(jobs),
+                "n_branches": base.n_branches,
+                "workers": args.jobs,
+            },
+        )
+    print(verdict.format())
+    if args.trajectory:
+        points = append_trajectory(
+            args.trajectory, name, seconds, label=args.label
+        )
+        print(f"appended point {len(points)} to {args.trajectory}")
+    return 0 if verdict.passed else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps",
+        description=(
+            "Declarative sweep DAGs over the sqlite result store "
+            f"(builtin specs: {', '.join(builtin_spec_names())})"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="execute a sweep spec, resuming from the store"
+    )
+    p_run.add_argument(
+        "specs",
+        nargs="*",
+        default=["paper"],
+        metavar="SPEC",
+        help="builtin spec names or paths (default: paper)",
+    )
+    _add_store_arg(p_run)
+    _add_sizing_args(p_run)
+    p_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="engine worker processes",
+    )
+    p_run.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="PATH",
+        help=(
+            "engine disk replay cache (default "
+            f"{DEFAULT_CACHE_DIR}; events live here, metrics in the store)"
+        ),
+    )
+    p_run.add_argument(
+        "--speculation", choices=("auto", "off"), default="auto",
+        help="segmented-replay scheduler selection (see docs/engine.md)",
+    )
+    p_run.add_argument(
+        "--markdown", default=None, metavar="PATH",
+        help="also render the report from the store to PATH",
+    )
+    p_run.add_argument(
+        "--telemetry", nargs="?", const="telemetry.json", default=None,
+        metavar="PATH", help="write the telemetry metrics document to PATH",
+    )
+    p_run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the span/log event stream as JSON lines to PATH",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_render = sub.add_parser(
+        "render", help="rebuild the Markdown report purely from the store"
+    )
+    p_render.add_argument(
+        "specs", nargs="*", default=["paper"], metavar="SPEC",
+        help="builtin spec names or paths (default: paper)",
+    )
+    _add_store_arg(p_render)
+    _add_sizing_args(p_render)
+    p_render.add_argument(
+        "--markdown", default=None, metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    p_render.set_defaults(func=_cmd_render)
+
+    p_status = sub.add_parser("status", help="store row counts and records")
+    _add_store_arg(p_status)
+    p_status.set_defaults(func=_cmd_status)
+
+    p_query = sub.add_parser("query", help="list stored job rows")
+    _add_store_arg(p_query)
+    p_query.add_argument("--benchmark", default=None, help="filter by benchmark")
+    p_query.add_argument(
+        "--query-backend", default=None, choices=("reference", "fast"),
+        help="filter by backend",
+    )
+    p_query.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time a spec's job set and gate against stored history",
+    )
+    p_bench.add_argument("spec", metavar="SPEC", help="builtin name or path")
+    _add_store_arg(p_bench)
+    _add_sizing_args(p_bench)
+    p_bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="engine worker processes",
+    )
+    p_bench.add_argument(
+        "--name", default=None,
+        help="bench series name (default sweep-<spec>)",
+    )
+    p_bench.add_argument(
+        "--max-ratio", type=float, default=1.5,
+        help="fail when sample exceeds best * ratio (default 1.5)",
+    )
+    p_bench.add_argument(
+        "--inject-slowdown", type=float, default=1.0, metavar="R",
+        help="multiply the measured time by R (gate mutation smoke)",
+    )
+    p_bench.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="also append the sample to a BENCH_*.json trajectory file",
+    )
+    p_bench.add_argument(
+        "--label", default="", help="label for the trajectory point"
+    )
+    p_bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 1) < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        return args.func(args)
+    except SweepSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

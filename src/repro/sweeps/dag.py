@@ -1,0 +1,149 @@
+"""Sweep expansion: spec -> deduplicated job/experiment DAG.
+
+Expansion is pure planning -- nothing executes here.  Each experiment
+instance contributes one :class:`ExperimentNode` that depends on the
+fingerprints of every :class:`~repro.engine.job.SimJob` its ``run()``
+would submit (as declared by the experiment's ``jobs()`` planner).
+Jobs shared across experiments -- baselines, ladders -- collapse to a
+single :class:`JobNode` keyed by fingerprint, so the DAG shows the
+true amount of replay work before anything runs, exactly mirroring the
+engine's own dedup.
+
+The graph is bipartite (jobs -> experiments) and therefore acyclic by
+construction, but :meth:`SweepDag.topological_order` still runs Kahn's
+algorithm with an explicit cycle check: the property suite executes
+nodes in arbitrary valid orders and the invariant should hold by
+verification, not by assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.engine.job import SimJob
+from repro.experiments.common import ExperimentSettings
+
+from repro.sweeps.spec import (
+    SweepSpec,
+    record_key,
+    resolve_instance,
+    settings_dict,
+)
+
+__all__ = ["JobNode", "ExperimentNode", "SweepDag"]
+
+
+@dataclass(frozen=True)
+class JobNode:
+    """One unique replay, keyed by job fingerprint."""
+
+    fingerprint: str
+    job: SimJob
+
+
+@dataclass(frozen=True)
+class ExperimentNode:
+    """One experiment x instance, keyed by its record key."""
+
+    key: str
+    experiment: str
+    instance: str
+    section: str
+    settings: ExperimentSettings
+    job_fingerprints: Tuple[str, ...]
+
+
+@dataclass
+class SweepDag:
+    """Deduplicated plan for one sweep."""
+
+    jobs: Dict[str, JobNode] = field(default_factory=dict)
+    experiments: List[ExperimentNode] = field(default_factory=list)
+
+    @classmethod
+    def from_spec(
+        cls, spec: SweepSpec, base: ExperimentSettings
+    ) -> "SweepDag":
+        """Expand spec x base settings into the deduplicated DAG."""
+        from repro.experiments.runner import EXPERIMENT_JOBS
+
+        dag = cls()
+        for experiment, instance, section in spec.section_names:
+            settings = resolve_instance(base, instance)
+            batch = EXPERIMENT_JOBS[experiment](settings)
+            fingerprints = []
+            for job in batch:
+                fp = job.fingerprint
+                fingerprints.append(fp)
+                dag.jobs.setdefault(fp, JobNode(fingerprint=fp, job=job))
+            dag.experiments.append(
+                ExperimentNode(
+                    key=record_key(experiment, settings),
+                    experiment=experiment,
+                    instance=instance.name,
+                    section=section,
+                    settings=settings,
+                    job_fingerprints=tuple(fingerprints),
+                )
+            )
+        return dag
+
+    def job_list(self) -> List[SimJob]:
+        """Unique jobs in first-appearance order."""
+        return [node.job for node in self.jobs.values()]
+
+    @property
+    def submitted_jobs(self) -> int:
+        """Planned job submissions before dedup."""
+        return sum(len(n.job_fingerprints) for n in self.experiments)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """``(job_fingerprint, experiment_key)`` dependency edges."""
+        return [
+            (fp, node.key)
+            for node in self.experiments
+            for fp in node.job_fingerprints
+        ]
+
+    def topological_order(self) -> List[str]:
+        """Node ids (fingerprints then record keys) in a valid order.
+
+        Kahn's algorithm with a cycle check; raises ``ValueError`` on a
+        cyclic graph.  Used by the property suite to execute the DAG in
+        arbitrary valid orders.
+        """
+        # dict.fromkeys: two instances with identical resolved settings
+        # share a record key and must count as one node.
+        nodes = list(
+            dict.fromkeys(list(self.jobs) + [n.key for n in self.experiments])
+        )
+        indegree = {node: 0 for node in nodes}
+        outgoing: Dict[str, List[str]] = {node: [] for node in nodes}
+        for src, dst in self.edges():
+            outgoing[src].append(dst)
+            indegree[dst] += 1
+        ready = [node for node in nodes if indegree[node] == 0]
+        order: List[str] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for dst in outgoing[node]:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    ready.append(dst)
+        if len(order) != len(nodes):
+            stuck = sorted(n for n in nodes if indegree[n] > 0)
+            raise ValueError(f"sweep DAG has a cycle through {stuck[:5]}")
+        return order
+
+    def describe(self) -> Dict[str, object]:
+        """Counts for status output and logs."""
+        return {
+            "experiments": len(self.experiments),
+            "submitted_jobs": self.submitted_jobs,
+            "unique_jobs": len(self.jobs),
+            "settings": [
+                settings_dict(node.settings) for node in self.experiments
+            ],
+        }

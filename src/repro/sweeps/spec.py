@@ -1,0 +1,269 @@
+"""Declarative sweep specifications.
+
+A sweep spec is a small JSON document naming *what* to run -- an
+ordered list of experiment ids crossed with one or more *instances*
+(settings overrides) -- without saying *how*: expansion into concrete
+:class:`~repro.engine.job.SimJob` s happens through the per-experiment
+``jobs()`` planners (:data:`repro.experiments.runner.EXPERIMENT_JOBS`),
+and execution, deduplication and caching stay the engine's business.
+
+Specs are checked in under ``src/repro/sweeps/specs/`` (the successors
+of the retired ``experiments_*.txt`` console logs) and validated by
+hand -- no dependency on a JSON-schema library.  Format::
+
+    {
+      "schema": 1,
+      "name": "paper",
+      "description": "every table and figure from the paper",
+      "experiments": ["table2", "table3", ...],
+      "instances": [
+        {"name": "default", "settings": {}}
+      ]
+    }
+
+Instance ``settings`` may override ``scale`` (applied first, via
+:meth:`ExperimentSettings.scaled`), ``n_branches``, ``warmup``,
+``seed``, ``benchmarks`` and ``backend``.  Anything else is rejected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.canonical import METRICS_SCHEMA
+from repro.engine.job import FINGERPRINT_SCHEMA
+from repro.experiments.common import ExperimentSettings
+
+__all__ = [
+    "SWEEP_SCHEMA",
+    "SPECS_DIR",
+    "SweepSpecError",
+    "SweepInstance",
+    "SweepSpec",
+    "builtin_spec_names",
+    "load_spec",
+    "record_key",
+    "resolve_instance",
+    "settings_dict",
+]
+
+#: Version of the sweep-spec JSON format.  Bump on any key change so an
+#: old spec fails loudly instead of being half-understood.
+SWEEP_SCHEMA = 1
+
+#: Directory of checked-in builtin specs.
+SPECS_DIR = Path(__file__).parent / "specs"
+
+#: Instance settings keys we understand, in application order.
+_SETTING_KEYS = ("scale", "n_branches", "warmup", "seed", "benchmarks", "backend")
+
+
+class SweepSpecError(ValueError):
+    """A sweep spec failed validation."""
+
+
+@dataclass(frozen=True)
+class SweepInstance:
+    """One named settings variation of a sweep."""
+
+    name: str
+    settings: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def overrides(self) -> Dict[str, object]:
+        return dict(self.settings)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated sweep: experiments x instances."""
+
+    name: str
+    description: str
+    experiments: Tuple[str, ...]
+    instances: Tuple[SweepInstance, ...]
+
+    @property
+    def section_names(self) -> List[Tuple[str, "SweepInstance", str]]:
+        """``(experiment, instance, section)`` triples in render order.
+
+        Sections are plain experiment ids for single-instance sweeps
+        and ``instance:experiment`` otherwise.
+        """
+        qualified = len(self.instances) > 1
+        out = []
+        for instance in self.instances:
+            for experiment in self.experiments:
+                section = (
+                    f"{instance.name}:{experiment}" if qualified else experiment
+                )
+                out.append((experiment, instance, section))
+        return out
+
+
+def _freeze(value):
+    """JSON value -> hashable canonical form (lists become tuples)."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def _validate(doc: dict, source: str) -> SweepSpec:
+    from repro.experiments.runner import EXPERIMENT_JOBS
+
+    if not isinstance(doc, dict):
+        raise SweepSpecError(f"{source}: spec must be a JSON object")
+    schema = doc.get("schema")
+    if schema != SWEEP_SCHEMA:
+        raise SweepSpecError(
+            f"{source}: schema is {schema!r}, expected {SWEEP_SCHEMA}"
+            " (regenerate the spec for this version)"
+        )
+    unknown_keys = set(doc) - {"schema", "name", "description", "experiments",
+                               "instances"}
+    if unknown_keys:
+        raise SweepSpecError(f"{source}: unknown keys {sorted(unknown_keys)}")
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        raise SweepSpecError(f"{source}: 'name' must be a non-empty string")
+    description = doc.get("description", "")
+    if not isinstance(description, str):
+        raise SweepSpecError(f"{source}: 'description' must be a string")
+    experiments = doc.get("experiments")
+    if not isinstance(experiments, list) or not experiments:
+        raise SweepSpecError(
+            f"{source}: 'experiments' must be a non-empty list"
+        )
+    unknown = [e for e in experiments if e not in EXPERIMENT_JOBS]
+    if unknown:
+        raise SweepSpecError(
+            f"{source}: unknown experiments {unknown}; known ids: "
+            + ", ".join(EXPERIMENT_JOBS)
+        )
+    if len(set(experiments)) != len(experiments):
+        raise SweepSpecError(f"{source}: duplicate experiment ids")
+
+    raw_instances = doc.get("instances", [{"name": "default", "settings": {}}])
+    if not isinstance(raw_instances, list) or not raw_instances:
+        raise SweepSpecError(f"{source}: 'instances' must be a non-empty list")
+    instances = []
+    seen = set()
+    for i, raw in enumerate(raw_instances):
+        if not isinstance(raw, dict):
+            raise SweepSpecError(f"{source}: instance {i} must be an object")
+        iname = raw.get("name")
+        if not isinstance(iname, str) or not iname:
+            raise SweepSpecError(
+                f"{source}: instance {i} needs a non-empty 'name'"
+            )
+        if iname in seen:
+            raise SweepSpecError(f"{source}: duplicate instance {iname!r}")
+        seen.add(iname)
+        extra = set(raw) - {"name", "settings"}
+        if extra:
+            raise SweepSpecError(
+                f"{source}: instance {iname!r} unknown keys {sorted(extra)}"
+            )
+        overrides = raw.get("settings", {})
+        if not isinstance(overrides, dict):
+            raise SweepSpecError(
+                f"{source}: instance {iname!r} 'settings' must be an object"
+            )
+        bad = set(overrides) - set(_SETTING_KEYS)
+        if bad:
+            raise SweepSpecError(
+                f"{source}: instance {iname!r} unknown settings "
+                f"{sorted(bad)}; allowed: {', '.join(_SETTING_KEYS)}"
+            )
+        instances.append(
+            SweepInstance(
+                name=iname,
+                settings=tuple(sorted(
+                    (k, _freeze(v)) for k, v in overrides.items()
+                )),
+            )
+        )
+    return SweepSpec(
+        name=name,
+        description=description,
+        experiments=tuple(experiments),
+        instances=tuple(instances),
+    )
+
+
+def builtin_spec_names() -> List[str]:
+    """Checked-in spec names, alphabetical."""
+    return sorted(p.stem for p in SPECS_DIR.glob("*.json"))
+
+
+def load_spec(name_or_path: str) -> SweepSpec:
+    """Load a sweep spec by builtin name or file path."""
+    builtin = SPECS_DIR / f"{name_or_path}.json"
+    path = builtin if builtin.is_file() else Path(name_or_path)
+    if not path.is_file():
+        raise SweepSpecError(
+            f"no sweep spec {name_or_path!r}: not a builtin "
+            f"({', '.join(builtin_spec_names())}) and not a file"
+        )
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise SweepSpecError(f"{path}: invalid JSON: {exc}") from exc
+    return _validate(doc, str(path))
+
+
+def resolve_instance(
+    base: ExperimentSettings, instance: SweepInstance
+) -> ExperimentSettings:
+    """Apply one instance's overrides to the base settings.
+
+    ``scale`` applies first (so an instance can shrink whatever sizing
+    the CLI chose), then explicit field overrides win outright.
+    """
+    settings = base
+    overrides = instance.overrides
+    if "scale" in overrides:
+        settings = settings.scaled(float(overrides["scale"]))
+    fields = {}
+    for key in ("n_branches", "warmup", "seed", "backend"):
+        if key in overrides:
+            fields[key] = overrides[key]
+    if "benchmarks" in overrides:
+        fields["benchmarks"] = tuple(overrides["benchmarks"])
+    if fields:
+        settings = replace(settings, **fields)
+    return settings
+
+
+def settings_dict(settings: ExperimentSettings) -> Dict[str, object]:
+    """JSON-safe canonical form of resolved settings."""
+    return {
+        "n_branches": settings.n_branches,
+        "warmup": settings.warmup,
+        "seed": settings.seed,
+        "benchmarks": list(settings.benchmarks),
+        "backend": settings.backend,
+    }
+
+
+def record_key(experiment: str, settings: ExperimentSettings) -> str:
+    """Content address of one rendered experiment record.
+
+    Salted with the fingerprint and canonical-metric schema versions so
+    records computed under an incompatible pipeline are never reused
+    (same idiom as :attr:`repro.engine.job.SimJob.fingerprint`).
+    """
+    payload = (
+        "experiment-record",
+        FINGERPRINT_SCHEMA,
+        METRICS_SCHEMA,
+        experiment,
+        tuple(sorted(settings_dict(settings).items(), key=lambda kv: kv[0])),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()

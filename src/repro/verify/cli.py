@@ -165,6 +165,56 @@ def _run_speculative_layer(engine, profile, stream, jobs) -> List[str]:
     return failures
 
 
+def _run_store_layer(engine, profile, stream) -> List[str]:
+    """Round-trip the result store on one real replay.
+
+    Persist a small job's canonical metrics into an ephemeral store,
+    read them back (digest re-validated on read), then corrupt the row
+    and require the store to reject it -- the integrity half of
+    docs/sweeps.md, checked on every verify run because it is cheap.
+    """
+    from repro.engine.job import SimJob
+    from repro.results import ResultStore
+    from repro.verify.matrix import CASES as _CASES
+
+    failures = []
+    print("== result store: round-trip + corruption rejection ==", file=stream)
+    case = _CASES[0]
+    job = SimJob(
+        benchmark=profile.benchmarks[0],
+        n_branches=profile.differential_branches,
+        warmup=profile.differential_branches // 3,
+        seed=1,
+        predictor=case.predictor,
+        estimator=case.estimator,
+        policy=case.policy,
+    )
+    outcome = engine.replay(job)
+    metrics = outcome.canonical_metrics()
+    with ResultStore(":memory:") as store:
+        store.put_job(job, metrics)
+        record = store.get_job(job.fingerprint)
+        if record is None or record.metrics != metrics:
+            failures.append(
+                "store: round-trip mismatch for "
+                f"{job.fingerprint[:12]}: {record!r}"
+            )
+        if store.missing([job]):
+            failures.append("store: stored job still reported missing")
+        store.corrupt_job(job.fingerprint)
+        if store.get_job(job.fingerprint) is not None:
+            failures.append("store: corrupt row passed digest validation")
+        if not store.missing([job]):
+            failures.append("store: corrupt row not scheduled for re-run")
+    status = "FAIL" if failures else "ok  "
+    print(
+        f"{status} store: put/get round-trip and corruption rejection "
+        f"on {job.fingerprint[:12]}",
+        file=stream,
+    )
+    return failures
+
+
 def _run_golden_layer(engine, profile, refresh, reason, stream, backend) -> List[str]:
     print(
         f"== golden gate [{profile.name}, backend={backend}]: "
@@ -199,6 +249,7 @@ def run_verification(
     fastpath: bool = True,
     segmented: bool = True,
     speculative: bool = True,
+    store: bool = True,
     backend: str = "reference",
     telemetry_path: Optional[str] = None,
     trace_out: Optional[str] = None,
@@ -256,6 +307,10 @@ def run_verification(
         if speculative:
             yield "speculative", lambda: _run_speculative_layer(
                 engine, profile, stream, jobs
+            )
+        if store:
+            yield "store", lambda: _run_store_layer(
+                engine, profile, stream
             )
         if golden:
             yield "golden", lambda: _run_golden_layer(
@@ -376,6 +431,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "(guess/guard/abort under adversarial corruption)"
         ),
     )
+    parser.add_argument(
+        "--skip-store",
+        action="store_true",
+        help="skip the result-store round-trip/corruption layer",
+    )
     parser.add_argument("--skip-golden", action="store_true", help="skip layer 3")
     parser.add_argument(
         "--backend",
@@ -427,6 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         fastpath=not args.skip_fastpath,
         segmented=not args.skip_segmented,
         speculative=not args.skip_speculative,
+        store=not args.skip_store,
         backend=args.backend,
         telemetry_path=args.telemetry,
         trace_out=args.trace_out,

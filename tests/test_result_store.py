@@ -1,0 +1,229 @@
+"""Unit tests for the sqlite result store and the regression gate.
+
+Covers the store contract (schema-versioned open, digest-validated
+reads, fingerprint-keyed resume queries) and the gate semantics
+(compare against best history, record after comparing, deterministic
+``BENCH_*.json`` trajectories).
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.engine import EstimatorSpec, SimJob
+from repro.results import (
+    ResultStore,
+    StoreSchemaError,
+    append_trajectory,
+    check_regression,
+    load_trajectory,
+)
+from repro.results.gate import TRAJECTORY_SCHEMA
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.close_trace()
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.close_trace()
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _job(benchmark="gzip", threshold=0, **kw):
+    return SimJob(
+        benchmark=benchmark,
+        n_branches=kw.pop("n_branches", 5_000),
+        warmup=kw.pop("warmup", 1_000),
+        seed=kw.pop("seed", 1),
+        estimator=EstimatorSpec.of("perceptron", threshold=threshold),
+        **kw,
+    )
+
+
+METRICS = {
+    "branches": 4000,
+    "mispredictions": 300,
+    "final_mispredictions": 280,
+    "reversals": 50,
+    "reversals_correcting": 30,
+    "reversals_breaking": 20,
+    "low_mispredicted": 200,
+    "low_correct": 500,
+    "high_mispredicted": 100,
+    "high_correct": 3200,
+}
+
+
+class TestStoreJobs:
+    def test_round_trip(self):
+        job = _job()
+        with ResultStore(":memory:") as store:
+            record = store.put_job(job, METRICS)
+            assert record.fingerprint == job.fingerprint
+            got = store.get_job(job.fingerprint)
+            assert got is not None
+            assert got.metrics == METRICS
+            assert got.benchmark == "gzip"
+            assert store.has_job(job.fingerprint)
+            assert store.job_count() == 1
+
+    def test_missing_deduplicates_like_the_engine(self):
+        a, b = _job(), _job(threshold=-25)
+        with ResultStore(":memory:") as store:
+            store.put_job(a, METRICS)
+            # a twice, b twice: one unique missing job remains.
+            assert store.missing([a, a, b, b]) == [b]
+
+    def test_corrupt_row_is_reported_and_treated_as_missing(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        telemetry.enable()
+        telemetry.set_trace_path(str(trace))
+        job = _job()
+        with ResultStore(":memory:") as store:
+            store.put_job(job, METRICS)
+            store.corrupt_job(job.fingerprint)
+            assert store.get_job(job.fingerprint) is None
+            assert store.missing([job]) == [job]
+        telemetry.close_trace()
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        corrupt = [
+            e for e in events if e.get("name") == "result_store_corrupt_row"
+        ]
+        assert corrupt, f"no corrupt-row event in {events}"
+        assert corrupt[0]["fields"]["fingerprint"] == job.fingerprint
+        snap = telemetry.get_registry().snapshot()
+        assert snap.counter("result_store_corrupt_rows_total") >= 1
+
+    def test_query_filters(self):
+        with ResultStore(":memory:") as store:
+            store.put_job(_job("gzip"), METRICS)
+            store.put_job(_job("vpr"), METRICS)
+            assert {r.benchmark for r in store.query_jobs()} == {"gzip", "vpr"}
+            assert [r.benchmark for r in store.query_jobs(benchmark="vpr")] == [
+                "vpr"
+            ]
+            assert store.query_jobs(backend="fast") == []
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        job = _job()
+        with ResultStore(path) as store:
+            store.put_job(job, METRICS)
+        with ResultStore(path) as store:
+            assert store.get_job(job.fingerprint).metrics == METRICS
+
+    def test_schema_mismatch_rejected_on_open(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        with ResultStore(path) as store:
+            store._db.execute(
+                "UPDATE meta SET value = '999' WHERE key = 'store_schema'"
+            )
+            store._db.commit()
+        with pytest.raises(StoreSchemaError, match="store_schema"):
+            ResultStore(path)
+
+
+class TestStoreExperiments:
+    def test_round_trip_with_and_without_rows(self):
+        with ResultStore(":memory:") as store:
+            store.put_experiment(
+                "k1", "table2", {"seed": 1}, [{"a": 1.5}], "formatted-1"
+            )
+            store.put_experiment("k2", "figure4_5", {"seed": 1}, None, "text")
+            r1 = store.get_experiment("k1")
+            assert r1.rows == [{"a": 1.5}]
+            assert r1.formatted == "formatted-1"
+            assert store.get_experiment("k2").rows is None
+            assert store.experiment_keys() == [
+                ("k1", "table2"), ("k2", "figure4_5"),
+            ]
+            assert store.get_experiment("nonesuch") is None
+
+    def test_summary_counts(self):
+        with ResultStore(":memory:") as store:
+            store.put_job(_job(), METRICS)
+            store.put_experiment("k", "table2", {}, None, "x")
+            store.put_bench("quick", 1.5)
+            assert store.summary() == {
+                "jobs": 1, "experiments": 1, "bench": 1,
+            }
+
+
+class TestGate:
+    def test_first_sample_becomes_baseline(self):
+        with ResultStore(":memory:") as store:
+            verdict = check_regression(store, "quick", 2.0)
+            assert verdict.passed and verdict.best is None
+            assert [s.seconds for s in store.bench_history("quick")] == [2.0]
+
+    def test_compares_against_best_history(self):
+        with ResultStore(":memory:") as store:
+            check_regression(store, "quick", 2.0)
+            check_regression(store, "quick", 3.0)  # slower but within 1.5x
+            verdict = check_regression(store, "quick", 2.9)
+            # Best is still 2.0: a slow outlier cannot loosen the gate.
+            assert verdict.best == 2.0
+            assert verdict.passed
+
+    def test_regression_fires_and_logs(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        telemetry.enable()
+        telemetry.set_trace_path(str(trace))
+        with ResultStore(":memory:") as store:
+            check_regression(store, "quick", 1.0)
+            verdict = check_regression(store, "quick", 2.0)
+        telemetry.close_trace()
+        assert not verdict.passed
+        assert verdict.ratio == 2.0
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        fired = [e for e in events if e.get("name") == "bench_gate_regression"]
+        assert fired and fired[0]["fields"]["bench"] == "quick"
+        snap = telemetry.get_registry().snapshot()
+        assert snap.counter(
+            "bench_gate_checks_total", bench="quick", verdict="fail"
+        ) == 1
+
+    def test_validation(self):
+        with ResultStore(":memory:") as store:
+            with pytest.raises(ValueError):
+                check_regression(store, "q", 0.0)
+            with pytest.raises(ValueError):
+                check_regression(store, "q", 1.0, max_ratio=0)
+
+
+class TestTrajectory:
+    def test_append_and_load_deterministic(self, tmp_path):
+        path = str(tmp_path / "BENCH_quick.json")
+        append_trajectory(path, "quick", 1.23456789, label="a")
+        append_trajectory(path, "quick", 2.0, label="b")
+        points = load_trajectory(path)
+        assert points == [
+            {"seconds": 1.234568, "label": "a"},
+            {"seconds": 2.0, "label": "b"},
+        ]
+        first = (tmp_path / "BENCH_quick.json").read_bytes()
+        # Re-building from the same inputs is byte-identical.
+        other = str(tmp_path / "BENCH_other.json")
+        append_trajectory(other, "quick", 1.23456789, label="a")
+        append_trajectory(other, "quick", 2.0, label="b")
+        assert (tmp_path / "BENCH_other.json").read_bytes() == first
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_trajectory(str(tmp_path / "nope.json")) == []
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": 99, "points": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_trajectory(str(path))
+
+    def test_schema_constant_in_file(self, tmp_path):
+        path = str(tmp_path / "BENCH_q.json")
+        append_trajectory(path, "q", 1.0)
+        doc = json.loads((tmp_path / "BENCH_q.json").read_text())
+        assert doc["schema"] == TRAJECTORY_SCHEMA
+        assert doc["name"] == "q"
