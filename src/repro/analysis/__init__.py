@@ -3,12 +3,23 @@
 - :mod:`repro.analysis.density` -- the perceptron output density
   functions of Figures 4-7, split by prediction outcome, with the
   three-region decomposition of Section 5.3.
+- :mod:`repro.analysis.branches` -- per-static-branch predictability
+  profiles (direction entropy, accuracy) and the H2P taxonomy.
 - :mod:`repro.analysis.sweep` -- threshold sweeps producing
   (Spec, PVN) curves and U/P frontiers.
 - :mod:`repro.analysis.tables` -- plain-text table rendering used by
   the experiment harness and examples.
 """
 
+from repro.analysis.branches import (
+    TAXONOMY_CLASSES,
+    BranchProfile,
+    TraceBranchSummary,
+    classify_taxonomy,
+    direction_entropy,
+    profile_events,
+    profile_records,
+)
 from repro.analysis.curves import (
     ConfidenceCurve,
     area_under_curve,
@@ -24,6 +35,13 @@ from repro.analysis.textplot import density_plot, frontier_plot
 from repro.analysis.timeline import MetricTimeline, WindowPoint
 
 __all__ = [
+    "TAXONOMY_CLASSES",
+    "BranchProfile",
+    "TraceBranchSummary",
+    "classify_taxonomy",
+    "direction_entropy",
+    "profile_events",
+    "profile_records",
     "ConfidenceCurve",
     "area_under_curve",
     "dominates",

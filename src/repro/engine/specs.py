@@ -171,6 +171,13 @@ def _build_gshare_perceptron_hybrid(**params):
     return make_gshare_perceptron_hybrid(**params)
 
 
+@PredictorSpec.register("tage")
+def _build_tage(**params):
+    from repro.predictors.tage import TagePredictor
+
+    return TagePredictor(**params)
+
+
 @EstimatorSpec.register("always_high")
 def _build_always_high():
     from repro.core.estimator import AlwaysHighEstimator

@@ -63,7 +63,8 @@ class ExperimentSettings:
         warmup: Leading branches that train structures but are excluded
             from metrics and timing (paper: one third of the trace).
         seed: Root seed; every trace and jitter stream derives from it.
-        benchmarks: Benchmarks to include (default: all twelve).
+        benchmarks: Benchmarks to include (default: all twelve Table 2
+            profiles; ``h2p.*`` workload-family names are also valid).
         backend: Engine backend for every job built from these settings
             (``"reference"`` or ``"fast"``; see ``docs/fastpath.md``).
     """
@@ -87,7 +88,10 @@ class ExperimentSettings:
             raise ValueError(
                 f"warmup must be in [0, n_branches), got {self.warmup}"
             )
-        unknown = set(self.benchmarks) - set(BENCHMARK_NAMES)
+        from repro.trace.h2p import H2P_PROFILE_NAMES
+
+        known = set(BENCHMARK_NAMES) | set(H2P_PROFILE_NAMES)
+        unknown = set(self.benchmarks) - known
         if unknown:
             raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
 

@@ -39,6 +39,7 @@ from repro.experiments import (
     figure6_7,
     figure8,
     figure9,
+    h2p_confidence,
     latency,
     oracle_bound,
     seed_stability,
@@ -85,6 +86,7 @@ EXTENSION_EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], object]] = {
     "seed_stability": seed_stability.run,
     "throttle": throttle.run,
     "warmup_curve": warmup_curve.run,
+    "h2p_confidence": h2p_confidence.run,
 }
 
 #: Everything selectable by id.
@@ -118,6 +120,7 @@ EXPERIMENT_JOBS: Dict[str, Callable[[ExperimentSettings], list]] = {
     "seed_stability": seed_stability.jobs,
     "throttle": throttle.jobs,
     "warmup_curve": warmup_curve.jobs,
+    "h2p_confidence": h2p_confidence.jobs,
 }
 
 #: Legacy suite names, kept as a back-compat shim for the retired

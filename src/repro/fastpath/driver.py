@@ -93,6 +93,37 @@ def _supports_predictor(spec) -> bool:
             and _is_int(p["meta_entries"])
             and p["meta_entries"] > 0
         )
+    if spec.kind == "tage":
+        p, ok = _merged(PREDICTOR_DEFAULTS["tage"], spec)
+        if not ok:
+            return False
+        if not (_is_int(p["base_entries"]) and p["base_entries"] > 0):
+            return False
+        if not _is_pow2(p["tagged_entries"]):
+            return False
+        if not (_is_int(p["tag_bits"]) and 1 <= p["tag_bits"] <= 30):
+            return False
+        if not (_is_int(p["counter_bits"]) and 2 <= p["counter_bits"] <= 16):
+            return False
+        if not (_is_int(p["u_reset_period"]) and p["u_reset_period"] >= 1):
+            return False
+        if not (
+            _is_int(p["n_tables"])
+            and p["n_tables"] >= 1
+            and _is_int(p["min_history"])
+            and _is_int(p["max_history"])
+            and 1 <= p["min_history"] <= p["max_history"]
+        ):
+            return False
+        # Collision bumping can push the longest table past max_history;
+        # the realised geometry must fit both the history kernels and
+        # the segment-resume checkpoint window (64 bits each).
+        from repro.predictors.tage import geometric_history_lengths
+
+        lengths = geometric_history_lengths(
+            p["n_tables"], p["min_history"], p["max_history"]
+        )
+        return lengths[-1] <= 64
     return False
 
 

@@ -43,6 +43,16 @@ PREDICTOR_DEFAULTS = {
         "perceptron_history": 24,
         "meta_entries": 65536,
     },
+    "tage": {
+        "base_entries": 4096,
+        "tagged_entries": 1024,
+        "n_tables": 4,
+        "tag_bits": 9,
+        "counter_bits": 3,
+        "min_history": 5,
+        "max_history": 40,
+        "u_reset_period": 16384,
+    },
 }
 
 
@@ -219,9 +229,144 @@ def _run_gshare_perceptron_hybrid(
     return _finish(col, pred, state)
 
 
+def _run_tage(col: ColumnarTrace, params: dict, init_state=None) -> PredictorPass:
+    from repro.predictors.tage import geometric_history_lengths
+
+    base_entries = params["base_entries"]
+    tagged_entries = params["tagged_entries"]
+    tag_bits = params["tag_bits"]
+    counter_bits = params["counter_bits"]
+    u_reset_period = params["u_reset_period"]
+    lengths = geometric_history_lengths(
+        params["n_tables"], params["min_history"], params["max_history"]
+    )
+    n_tables = len(lengths)
+    index_bits = tagged_entries.bit_length() - 1
+    midpoint = 1 << (counter_bits - 1)
+    ctr_max = (1 << counter_bits) - 1
+
+    # Per-table index/tag streams precomputed from the history columns;
+    # the scalar loop below only does table reads/writes.
+    pcs = (col.pcs >> 2).astype(np.uint64)
+    pc_fold_idx = fold_u64(pcs, index_bits)
+    pc_fold_tag = fold_u64(pcs, tag_bits)
+    tag_mask = np.uint64((1 << tag_bits) - 1)
+    idx_cols: List[List[int]] = []
+    tag_cols: List[List[int]] = []
+    for length in lengths:
+        h = col.history(length)
+        idx_cols.append((pc_fold_idx ^ fold_u64(h, index_bits)).tolist())
+        tag_cols.append(
+            (
+                (pc_fold_tag ^ (fold_u64(h, tag_bits - 1) << np.uint64(1)))
+                & tag_mask
+            ).tolist()
+        )
+    b_idx = (pcs % np.uint64(base_entries)).tolist()
+
+    if init_state is None:
+        base = [2] * base_entries
+        ctr = [[midpoint] * tagged_entries for _ in lengths]
+        tags = [[0] * tagged_entries for _ in lengths]
+        useful = [[0] * tagged_entries for _ in lengths]
+        retired = 0
+    else:
+        # ("tage", lengths, base, ((ctr, tags, useful), ...), bits, retired)
+        if tuple(init_state[1]) != lengths:
+            raise ValueError(
+                f"checkpoint history lengths {tuple(init_state[1])} != {lengths}"
+            )
+        base = list(init_state[2])
+        ctr = [list(t[0]) for t in init_state[3]]
+        tags = [list(t[1]) for t in init_state[3]]
+        useful = [list(t[2]) for t in init_state[3]]
+        retired = int(init_state[5])
+
+    takl = col.taken_list
+    n = col.n
+    pred = [False] * n
+    for i in range(n):
+        provider = -1
+        alt = -1
+        for t in range(n_tables):
+            if tags[t][idx_cols[t][i]] == tag_cols[t][i]:
+                alt = provider
+                provider = t
+        taken = takl[i]
+        if provider >= 0:
+            pslot = idx_cols[provider][i]
+            provider_pred = ctr[provider][pslot] >= midpoint
+            pred[i] = provider_pred
+            if alt >= 0:
+                alt_pred = ctr[alt][idx_cols[alt][i]] >= midpoint
+            else:
+                alt_pred = base[b_idx[i]] >= 2
+            v = ctr[provider][pslot]
+            if taken:
+                if v < ctr_max:
+                    ctr[provider][pslot] = v + 1
+            elif v > 0:
+                ctr[provider][pslot] = v - 1
+            if provider_pred != alt_pred:
+                u = useful[provider][pslot]
+                if provider_pred == taken:
+                    if u < 3:
+                        useful[provider][pslot] = u + 1
+                elif u > 0:
+                    useful[provider][pslot] = u - 1
+        else:
+            b = b_idx[i]
+            vb = base[b]
+            pred[i] = vb >= 2
+            if taken:
+                if vb < 3:
+                    base[b] = vb + 1
+            elif vb > 0:
+                base[b] = vb - 1
+        if pred[i] != taken:
+            start = provider + 1
+            allocated = False
+            for t in range(start, n_tables):
+                slot = idx_cols[t][i]
+                if useful[t][slot] == 0:
+                    tags[t][slot] = tag_cols[t][i]
+                    ctr[t][slot] = midpoint if taken else midpoint - 1
+                    allocated = True
+                    break
+            if not allocated:
+                for t in range(start, n_tables):
+                    slot = idx_cols[t][i]
+                    u = useful[t][slot]
+                    if u > 0:
+                        useful[t][slot] = u - 1
+        retired += 1
+        if retired % u_reset_period == 0:
+            for t in range(n_tables):
+                ut = useful[t]
+                for s in range(tagged_entries):
+                    val = ut[s]
+                    if val:
+                        ut[s] = val >> 1
+
+    final_bits = col.final_history(lengths[-1])
+    state = (
+        "tage",
+        lengths,
+        tuple(base),
+        tuple(
+            (tuple(ctr[t]), tuple(tags[t]), tuple(useful[t]))
+            for t in range(n_tables)
+        ),
+        final_bits,
+        retired,
+    )
+    return _finish(col, pred, state)
+
+
 _RUNNERS = {
     "baseline_hybrid": _run_baseline_hybrid,
     "gshare_perceptron_hybrid": _run_gshare_perceptron_hybrid,
+    "tage": _run_tage,
 }
 
 

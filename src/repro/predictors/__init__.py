@@ -29,6 +29,7 @@ from repro.predictors.hybrid import (
 from repro.predictors.local import LocalPredictor
 from repro.predictors.perceptron_predictor import PerceptronPredictor
 from repro.predictors.static import AlwaysTakenPredictor, AlwaysNotTakenPredictor
+from repro.predictors.tage import TagePredictor
 
 __all__ = [
     "BranchPredictor",
@@ -42,4 +43,5 @@ __all__ = [
     "make_gshare_perceptron_hybrid",
     "AlwaysTakenPredictor",
     "AlwaysNotTakenPredictor",
+    "TagePredictor",
 ]

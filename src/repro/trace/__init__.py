@@ -20,7 +20,11 @@ Public surface:
   population into a dynamic trace.
 - :mod:`repro.trace.benchmarks` -- the twelve SPECint2000-like profiles
   of Table 2 and :func:`generate_benchmark_trace`.
+- :mod:`repro.trace.h2p` -- the hard-to-predict (``h2p.*``) workload
+  family: few statics, high dynamic counts, tunable predictability.
 - :mod:`repro.trace.io` -- text and binary trace serialisation.
+- :mod:`repro.trace.ingest` -- external (ChampSim/CBP-style) branch
+  trace ingestion into the segmented on-disk format.
 - :mod:`repro.trace.segments` -- lazy segment iteration and the indexed
   on-disk segment format used by segmented streaming execution.
 """
@@ -45,6 +49,22 @@ from repro.trace.benchmarks import (
 # re-exported here -- it depends on repro.core (a higher layer), and an
 # eager import would be circular.
 from repro.trace.generator import StaticBranch, TraceGenerator, WorkloadSpec
+from repro.trace.h2p import (
+    H2P_PROFILE_NAMES,
+    H2PBranch,
+    H2PProfile,
+    build_h2p_workload,
+    generate_h2p_trace,
+    h2p_profile,
+    h2p_record_stream,
+    is_h2p_benchmark,
+)
+from repro.trace.ingest import (
+    TraceFormatError,
+    ingest_external_trace,
+    iter_external_records,
+    write_external_trace,
+)
 from repro.trace.io import load_trace, save_trace
 from repro.trace.record import BranchRecord, Trace, TraceStats
 from repro.trace.segments import (
@@ -67,6 +87,18 @@ __all__ = [
     "BenchmarkProfile",
     "benchmark_profile",
     "generate_benchmark_trace",
+    "H2P_PROFILE_NAMES",
+    "H2PBranch",
+    "H2PProfile",
+    "build_h2p_workload",
+    "generate_h2p_trace",
+    "h2p_profile",
+    "h2p_record_stream",
+    "is_h2p_benchmark",
+    "TraceFormatError",
+    "ingest_external_trace",
+    "iter_external_records",
+    "write_external_trace",
     "StaticBranch",
     "TraceGenerator",
     "WorkloadSpec",

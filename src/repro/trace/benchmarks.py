@@ -444,6 +444,10 @@ def benchmark_record_stream(name: str, seed: int = 0):
     (``Engine.stream``, segment writers) replay arbitrarily long traces
     without ever materializing one.
     """
+    if name.startswith("h2p."):
+        from repro.trace.h2p import h2p_record_stream
+
+        return h2p_record_stream(name, seed=seed)
     profile = benchmark_profile(name)
     spec = build_workload(profile, seed=seed)
     generator = TraceGenerator(spec, seed=derive_seed(seed, "trace", name))
@@ -459,6 +463,11 @@ def generate_benchmark_trace(
     (the ``tracegen`` span, ``trace_generated_total``) is observational
     and never feeds back into generation.
     """
+    if name.startswith("h2p."):
+        from repro.trace.h2p import generate_h2p_trace
+
+        return generate_h2p_trace(name, n_branches=n_branches, seed=seed)
+
     from repro import telemetry
 
     with telemetry.trace_span(

@@ -8,6 +8,10 @@ Usage (``python -m repro.trace <command> ...``):
   branches of a saved trace;
 - ``convert <in> <out>`` re-serialise between the text and binary
   formats;
+- ``ingest <in> <segment-dir>`` land an external (ChampSim/CBP-style)
+  branch trace into the indexed segment directory format;
+- ``export <in> <out.btr>`` write a saved trace in the external format
+  (fixture generation, interchange with other simulators);
 - ``list`` show the available benchmark profiles and their calibration
   targets.
 """
@@ -24,6 +28,8 @@ from repro.trace.benchmarks import (
     benchmark_profile,
     generate_benchmark_trace,
 )
+from repro.trace.h2p import H2P_PROFILE_NAMES
+from repro.trace.ingest import ingest_external_trace, write_external_trace
 from repro.trace.io import load_trace, save_trace
 from repro.trace.record import Trace
 
@@ -72,6 +78,27 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    segmented = ingest_external_trace(
+        args.input,
+        args.directory,
+        segment_size=args.segment_size,
+        name=args.name,
+    )
+    print(
+        f"ingested {args.input} -> {args.directory}: "
+        f"{len(segmented)} records, token {segmented.job_token()}"
+    )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    trace = load_trace(args.input)
+    count = write_external_trace(trace.records, args.output)
+    print(f"exported {args.input} -> {args.output} ({count} records)")
+    return 0
+
+
 def _cmd_list(args) -> int:
     print(f"{'benchmark':<10} {'target m/kuop':>14}  {'uops/branch':>12}  statics")
     for name in BENCHMARK_NAMES:
@@ -96,7 +123,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesise a benchmark trace")
-    gen.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    gen.add_argument("benchmark", choices=BENCHMARK_NAMES + H2P_PROFILE_NAMES)
     gen.add_argument("output", help="output path (.btrace or .npz)")
     gen.add_argument("--branches", type=int, default=100_000)
     gen.add_argument("--seed", type=int, default=1)
@@ -111,6 +138,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     conv.add_argument("input")
     conv.add_argument("output")
     conv.set_defaults(func=_cmd_convert)
+
+    ing = sub.add_parser("ingest", help="ingest an external branch trace")
+    ing.add_argument("input", help="external trace file (CBPBT01 format)")
+    ing.add_argument("directory", help="output segment directory")
+    ing.add_argument("--segment-size", type=int, default=4096)
+    ing.add_argument("--name", default=None, help="trace name (default: stem)")
+    ing.set_defaults(func=_cmd_ingest)
+
+    exp = sub.add_parser("export", help="write a trace in the external format")
+    exp.add_argument("input", help="saved trace (.btrace or .npz)")
+    exp.add_argument("output", help="external trace file to write")
+    exp.set_defaults(func=_cmd_export)
 
     lst = sub.add_parser("list", help="list benchmark profiles")
     lst.set_defaults(func=_cmd_list)

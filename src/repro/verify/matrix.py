@@ -149,6 +149,8 @@ CASES: Tuple[VerifyCase, ...] = (
     VerifyCase("gshare-perceptron-hybrid",
                PredictorSpec.of("gshare_perceptron_hybrid"),
                _PERCEPTRON_L0, GATING_POLICY),
+    VerifyCase("tage-perceptron-cic", PredictorSpec.of("tage"),
+               _PERCEPTRON_L0, GATING_POLICY),
 )
 
 

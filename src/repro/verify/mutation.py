@@ -67,9 +67,37 @@ def _mutate_jrs_reset() -> Iterator[None]:
         JRSEstimator.train = original
 
 
+@contextlib.contextmanager
+def _mutate_tage_useful() -> Iterator[None]:
+    """Decay TAGE useful counters on every tag hit.
+
+    Drops the increment arm of the useful-update rule -- counters can
+    only fall, so no tagged entry is ever protected and every
+    mispredict's allocation overwrites a live slot.  A one-line
+    polarity bug in the update rule; the ``tage-perceptron-cic`` case
+    must drift.
+    """
+    from repro.predictors.tage import TagePredictor
+
+    original = TagePredictor.train
+
+    def never_useful(self, pc, taken, prediction):
+        matches = self._matches(pc)
+        original(self, pc, taken, prediction)
+        for table, slot in matches:
+            self._useful[table].update(slot, False)
+
+    TagePredictor.train = never_useful
+    try:
+        yield
+    finally:
+        TagePredictor.train = original
+
+
 MUTATIONS: Dict[str, contextlib.AbstractContextManager] = {
     "perceptron-update": _mutate_perceptron_update,
     "jrs-reset": _mutate_jrs_reset,
+    "tage-useful": _mutate_tage_useful,
 }
 
 

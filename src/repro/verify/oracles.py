@@ -343,9 +343,162 @@ def _ref_gshare_perceptron_hybrid(
     )
 
 
+class RefTage:
+    """TAGE (Seznec-Michaud): bimodal base + tagged geometric tables.
+
+    Restates ``repro.predictors.tage.TagePredictor`` from its docstring:
+    longest tag match provides, next-longest (or base) is the alternate,
+    allocation on mispredict takes the shortest longer-history table
+    with a dead useful counter, useful counters halve every
+    ``u_reset_period`` retires.
+    """
+
+    def __init__(
+        self,
+        base_entries: int = 4096,
+        tagged_entries: int = 1024,
+        n_tables: int = 4,
+        tag_bits: int = 9,
+        counter_bits: int = 3,
+        min_history: int = 5,
+        max_history: int = 40,
+        u_reset_period: int = 16384,
+    ):
+        self.index_bits = _log2_exact(tagged_entries, "tage tagged-table")
+        self.tagged_entries = tagged_entries
+        self.tag_bits = tag_bits
+        self.counter_bits = counter_bits
+        self.midpoint = 1 << (counter_bits - 1)
+        self.ctr_max = (1 << counter_bits) - 1
+        self.u_reset_period = u_reset_period
+        # Geometric history series, re-derived independently.
+        if n_tables == 1:
+            self.lengths = [min_history]
+        else:
+            ratio = (max_history / min_history) ** (1.0 / (n_tables - 1))
+            self.lengths = []
+            for i in range(n_tables):
+                length = int(round(min_history * ratio**i))
+                if self.lengths and length <= self.lengths[-1]:
+                    length = self.lengths[-1] + 1
+                self.lengths.append(length)
+        self.base_entries = base_entries
+        self.base = [2] * base_entries
+        self.ctr = [[self.midpoint] * tagged_entries for _ in self.lengths]
+        self.tags = [[0] * tagged_entries for _ in self.lengths]
+        self.useful = [[0] * tagged_entries for _ in self.lengths]
+        self.history = _RefHistory(self.lengths[-1])
+        self.retired = 0
+
+    def _idx(self, table: int, pc: int) -> int:
+        h = self.history.bits & ((1 << self.lengths[table]) - 1)
+        return _fold(pc >> 2, self.index_bits) ^ _fold(h, self.index_bits)
+
+    def _tg(self, table: int, pc: int) -> int:
+        h = self.history.bits & ((1 << self.lengths[table]) - 1)
+        return (
+            _fold(pc >> 2, self.tag_bits)
+            ^ (_fold(h, self.tag_bits - 1) << 1)
+        ) & ((1 << self.tag_bits) - 1)
+
+    def _hits(self, pc: int):
+        return [
+            (t, self._idx(t, pc))
+            for t in range(len(self.lengths))
+            if self.tags[t][self._idx(t, pc)] == self._tg(t, pc)
+        ]
+
+    def predict(self, pc: int) -> bool:
+        hits = self._hits(pc)
+        if hits:
+            t, slot = hits[-1]
+            return self.ctr[t][slot] >= self.midpoint
+        return bool(self.base[(pc >> 2) % self.base_entries] >> 1)
+
+    def update(self, pc: int, taken: bool, prediction: bool) -> None:
+        hits = self._hits(pc)
+        provider = None
+        if hits:
+            t, slot = hits[-1]
+            provider = t
+            provider_pred = self.ctr[t][slot] >= self.midpoint
+            if len(hits) >= 2:
+                at, aslot = hits[-2]
+                alt_pred = self.ctr[at][aslot] >= self.midpoint
+            else:
+                alt_pred = bool(
+                    self.base[(pc >> 2) % self.base_entries] >> 1
+                )
+            v = self.ctr[t][slot]
+            if taken:
+                if v < self.ctr_max:
+                    v += 1
+            elif v > 0:
+                v -= 1
+            self.ctr[t][slot] = v
+            if provider_pred != alt_pred:
+                u = self.useful[t][slot]
+                if provider_pred == taken:
+                    if u < 3:
+                        u += 1
+                elif u > 0:
+                    u -= 1
+                self.useful[t][slot] = u
+        else:
+            i = (pc >> 2) % self.base_entries
+            v = self.base[i]
+            if taken:
+                if v < 3:
+                    v += 1
+            elif v > 0:
+                v -= 1
+            self.base[i] = v
+        if prediction != taken:
+            start = 0 if provider is None else provider + 1
+            allocated = False
+            for t in range(start, len(self.lengths)):
+                slot = self._idx(t, pc)
+                if self.useful[t][slot] == 0:
+                    self.tags[t][slot] = self._tg(t, pc)
+                    self.ctr[t][slot] = (
+                        self.midpoint if taken else self.midpoint - 1
+                    )
+                    allocated = True
+                    break
+            if not allocated:
+                for t in range(start, len(self.lengths)):
+                    slot = self._idx(t, pc)
+                    if self.useful[t][slot] > 0:
+                        self.useful[t][slot] -= 1
+        self.retired += 1
+        if self.retired % self.u_reset_period == 0:
+            for table in self.useful:
+                for slot in range(len(table)):
+                    if table[slot]:
+                        table[slot] >>= 1
+        self.history.push(taken)
+
+    def state_canonical(self) -> tuple:
+        return (
+            "tage",
+            tuple(self.lengths),
+            tuple(self.base),
+            tuple(
+                (tuple(c), tuple(g), tuple(u))
+                for c, g, u in zip(self.ctr, self.tags, self.useful)
+            ),
+            self.history.bits,
+            self.retired,
+        )
+
+    def state_digest(self) -> str:
+        return _digest(self.state_canonical())
+
+
 _PREDICTORS: Dict[str, Callable] = {
     "baseline_hybrid": _ref_baseline_hybrid,
     "gshare_perceptron_hybrid": _ref_gshare_perceptron_hybrid,
+    "tage": RefTage,
 }
 
 

@@ -116,7 +116,7 @@ class TestRegistries:
             "oracle_bound", "energy", "smt",
             "ablation_training", "ablation_combined",
             "ablation_history", "ablation_indexing", "seed_stability",
-            "throttle", "warmup_curve",
+            "throttle", "warmup_curve", "h2p_confidence",
         }
 
 

@@ -109,3 +109,37 @@ class TestBenchmarkRecordStream:
         a = list(islice(benchmark_record_stream("gzip", seed=1), 300))
         b = list(islice(benchmark_record_stream("gzip", seed=2), 300))
         assert a != b
+
+
+class TestIngestedEdgeCases:
+    """Regressions for externally-produced (non-generated) record lists.
+
+    Ingested traces reach :func:`save_segmented` without a generator's
+    invariants, so the format must round-trip inputs a generator never
+    emits: pcs wider than 64 bits and empty record lists.
+    """
+
+    def test_oversized_pc_round_trips(self, tmp_path):
+        wide = (1 << 70) + 5
+        records = [
+            BranchRecord(pc=0x400000, taken=True),
+            BranchRecord(pc=wide, taken=False),
+            BranchRecord(pc=wide + 4, taken=True),
+        ]
+        trace = save_segmented(records, str(tmp_path / "seg"), segment_size=2)
+        assert [(r.pc, r.taken) for r in trace.iter_records()] == [
+            (r.pc, r.taken) for r in records
+        ]
+        reopened = SegmentedTrace(str(tmp_path / "seg"))
+        assert [r.pc for r in reopened.load()] == [r.pc for r in records]
+        assert reopened.job_token() == trace.job_token()
+
+    def test_zero_length_trace_round_trips(self, tmp_path):
+        trace = save_segmented([], str(tmp_path / "seg"), segment_size=8)
+        assert len(trace) == 0
+        assert trace.n_segments == 0
+        assert list(trace.iter_records()) == []
+        reopened = SegmentedTrace(str(tmp_path / "seg"))
+        assert len(reopened) == 0
+        assert len(reopened.load()) == 0
+        assert reopened.job_token() == trace.job_token()
