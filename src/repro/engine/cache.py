@@ -298,13 +298,19 @@ class SegmentCache:
 
     def get(self, fingerprint: str):
         """``(events, checkpoint)`` for a cached segment, else ``None``."""
+        return self.get_tiered(fingerprint)[0]
+
+    def get_tiered(self, fingerprint: str):
+        """``((events, checkpoint), tier)`` -- tier is ``"memory"``,
+        ``"disk"``, or ``None`` on a miss (entry is ``None`` too).
+        Schedulers annotate their per-segment spans with the tier."""
         tel = telemetry.get_registry()
         entry = self._lru.get(fingerprint)
         if entry is not None:
             self.stats.hits += 1
             if tel.enabled:
                 tel.counter("cache_segment_hits_total", tier="memory").inc()
-            return entry
+            return entry, "memory"
         if self.disk_dir is not None:
             path = self._disk_path(fingerprint)
             try:
@@ -347,11 +353,11 @@ class SegmentCache:
                     entry = (events, checkpoint)
                     self._lru.put(fingerprint, entry, cost=max(1, len(events)))
                     self._note_evictions(tel)
-                    return entry
+                    return entry, "disk"
         self.stats.misses += 1
         if tel.enabled:
             tel.counter("cache_segment_misses_total").inc()
-        return None
+        return None, None
 
     def _note_evictions(self, tel) -> None:
         new = self._lru.evictions - self.stats.evictions

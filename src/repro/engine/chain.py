@@ -301,23 +301,27 @@ class SequentialChain:
         fingerprints: List[str] = []
         checkpoints: List[ReplayCheckpoint] = []
         for index, (start, stop) in enumerate(plan.bounds):
-            fingerprint = plan.fingerprint(index, checkpoint.digest)
-            hit = cache.get(fingerprint)
-            if hit is not None:
-                events, checkpoint = hit
-            else:
-                segment = trace.slice(start, stop)
-                events, checkpoint, backend = executor.run(
-                    segment, stop, checkpoint
-                )
-                cache.put(fingerprint, events, checkpoint)
-                if tel.enabled:
-                    tel.counter(
-                        "engine_segments_total", backend=backend
-                    ).inc()
-            all_events.extend(events)
-            fingerprints.append(fingerprint)
-            checkpoints.append(checkpoint)
+            with telemetry.trace_span(
+                "engine.segment", index=index, scheduler=self.name
+            ) as span:
+                fingerprint = plan.fingerprint(index, checkpoint.digest)
+                hit, tier = cache.get_tiered(fingerprint)
+                span.note(cache=tier or "miss")
+                if hit is not None:
+                    events, checkpoint = hit
+                else:
+                    segment = trace.slice(start, stop)
+                    events, checkpoint, backend = executor.run(
+                        segment, stop, checkpoint
+                    )
+                    cache.put(fingerprint, events, checkpoint)
+                    if tel.enabled:
+                        tel.counter(
+                            "engine_segments_total", backend=backend
+                        ).inc()
+                all_events.extend(events)
+                fingerprints.append(fingerprint)
+                checkpoints.append(checkpoint)
         return ChainRun(
             events=all_events,
             final_checkpoint=checkpoint,

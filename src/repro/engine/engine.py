@@ -47,6 +47,23 @@ def _replay_trace(
     workers: int = 1,
     speculation: str = "auto",
 ) -> ReplayOutcome:
+    """Replay a prepared trace (optionally under the cProfile hotspot
+    accumulator -- ``--profile`` wraps every executed job here)."""
+    from repro.telemetry import profile
+
+    if profile.profiling_enabled():
+        with profile.profile_block():
+            return _replay_trace_impl(job, trace, segments, workers, speculation)
+    return _replay_trace_impl(job, trace, segments, workers, speculation)
+
+
+def _replay_trace_impl(
+    job: SimJob,
+    trace,
+    segments=None,
+    workers: int = 1,
+    speculation: str = "auto",
+) -> ReplayOutcome:
     """Replay a prepared trace through fresh spec-built components.
 
     Pure in the job description: no shared mutable state is read, which
@@ -145,23 +162,49 @@ def execute_job(job: SimJob) -> ReplayOutcome:
     )
 
 
+#: Sticky per-worker decision: did the parent have an open trace sink
+#: at fork time?  The inherited sink is closed after the first job, so
+#: the flag must outlive it for later jobs on the same worker.
+_worker_capture: Optional[bool] = None
+
+
 def _execute_job_telemetry(job: SimJob):
     """Worker entry when the parent collects telemetry.
 
     Enables the worker-local registry, runs the job, and ships a
     picklable snapshot (drained, so per-job deltas never double count)
-    back with the outcome for the parent to merge.
+    back with the outcome for the parent to merge -- plus, when the
+    parent is tracing, the worker's captured span events (re-parented
+    and re-emitted by the parent; span ids are pid-namespaced so the
+    streams merge collision-free) and, when profiling, the worker's
+    drained cProfile hotspot accumulator.
 
     A fork-started worker inherits the parent's registry *contents* and
     its open trace sink; both are shed before collecting, otherwise the
     parent's pre-fork counters would be merged back a second time (and
     worker spans would interleave into the parent's trace file).
     """
+    global _worker_capture
+    from repro.telemetry import profile
+
+    if _worker_capture is None:
+        _worker_capture = telemetry.tracing_active()
     telemetry.close_trace()
     registry = telemetry.enable()
     registry.reset()
-    outcome = execute_job(job)
-    return outcome, registry.drain()
+    profile.reset_profile()
+    if _worker_capture:
+        telemetry.begin_span_capture()
+    with telemetry.trace_span(
+        "worker.replay",
+        benchmark=job.benchmark,
+        n_branches=job.n_branches,
+        fingerprint=job.fingerprint[:12],
+    ) as span:
+        outcome = execute_job(job)
+        span.note(backend=outcome.backend)
+    events = telemetry.drain_span_capture() if _worker_capture else []
+    return outcome, registry.drain(), events, profile.drain_profile()
 
 
 class EngineStats:
@@ -338,8 +381,9 @@ class Engine:
                     with ProcessPoolExecutor(max_workers=n) as pool:
                         if tel.enabled:
                             # Workers collect into their own registries;
-                            # each job ships a drained snapshot home.
-                            for job, (outcome, snap) in zip(
+                            # each job ships a drained snapshot home,
+                            # plus captured spans and profile data.
+                            for job, (outcome, snap, events, prof) in zip(
                                 pending,
                                 pool.map(
                                     _execute_job_telemetry,
@@ -348,6 +392,8 @@ class Engine:
                                 ),
                             ):
                                 tel.merge(snap)
+                                telemetry.replay_captured(events)
+                                telemetry.merge_profile(prof)
                                 self._finish(job, outcome, resolved)
                         else:
                             for job, outcome in zip(

@@ -31,7 +31,7 @@ against the sequential and monolithic replays on both backends,
 including under adversarial guess corruption
 (:class:`CorruptingGuessProvider`).
 
-Telemetry (parent-side only; workers run silent):
+Telemetry (metrics are parent-side only; workers count nothing):
 
 - ``speculation_guessed_total`` -- speculative dispatches from guessed
   incoming states (segment 0's exact initial state is not a guess);
@@ -39,11 +39,17 @@ Telemetry (parent-side only; workers run silent):
   guard outcomes per guessed dispatch (they sum to ``guessed``);
 - ``speculation_requeued_total`` -- segments re-executed on the
   sequential repair path at join time;
-- per-segment ``engine.segment`` spans carrying the join order.
+- per-segment ``engine.segment`` spans carrying the join order and the
+  segment-cache tier that served the join (``memory``/``disk``/miss);
+- when a trace sink is open: ``speculation.guess`` / ``.validate`` /
+  ``.abort`` marker events, and each accepted worker's captured
+  ``worker.segment`` span re-emitted under its join's
+  ``engine.segment`` span -- the shard lanes of the exported timeline.
 """
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional
 
@@ -128,6 +134,12 @@ class CorruptingGuessProvider(GuessProvider):
         return guess
 
 
+#: Sticky per-worker decision: was the parent tracing at fork time?
+#: (The inherited sink is closed on the worker's first call, so the
+#: flag must outlive it for later segments on the same worker.)
+_worker_capture: Optional[bool] = None
+
+
 def speculative_worker(job, records, stop: int, checkpoint: ReplayCheckpoint):
     """Execute one segment in a worker process.
 
@@ -137,11 +149,28 @@ def speculative_worker(job, records, stop: int, checkpoint: ReplayCheckpoint):
     digest guard decides whether the result is usable.  Telemetry is
     disabled first: the parent owns all counting, and a forked child
     inherits the parent's enabled registry.
+
+    When the parent was tracing at fork time, the worker wraps the
+    segment in a ``worker.segment`` span captured into an in-memory
+    buffer; accepted results ship the buffer home for the parent to
+    re-emit under its ``engine.segment`` span, which is what makes a
+    speculative replay render as shard lanes on one timeline.
     """
+    global _worker_capture
+    if _worker_capture is None:
+        _worker_capture = telemetry.tracing_active()
+    telemetry.close_trace()
     telemetry.disable()
-    executor = SegmentExecutor(job)
-    events, out_checkpoint, backend = executor.run(records, stop, checkpoint)
-    return events, out_checkpoint, backend
+    if _worker_capture:
+        telemetry.begin_span_capture()
+    with telemetry.trace_span(
+        "worker.segment", position=checkpoint.position, stop=stop
+    ) as span:
+        executor = SegmentExecutor(job)
+        events, out_checkpoint, backend = executor.run(records, stop, checkpoint)
+        span.note(backend=backend)
+    captured = telemetry.drain_span_capture() if _worker_capture else []
+    return events, out_checkpoint, backend, captured
 
 
 class SpeculativeShardScheduler:
@@ -214,26 +243,44 @@ class SpeculativeShardScheduler:
                 guessed = sum(1 for index in futures if index)
                 if guessed:
                     tel.counter("speculation_guessed_total").inc(guessed)
+            if telemetry.tracing_active():
+                for index in sorted(futures):
+                    if index:
+                        telemetry.log_event(
+                            "speculation.guess",
+                            level=logging.DEBUG,
+                            segment=index,
+                        )
 
             for index, (start, stop) in enumerate(plan.bounds):
                 with telemetry.trace_span(
                     "engine.segment",
                     index=index,
                     scheduler=self.name,
-                ):
+                ) as span:
                     fingerprint = plan.fingerprint(index, checkpoint.digest)
-                    hit = cache.get(fingerprint)
+                    hit, tier = cache.get_tiered(fingerprint)
+                    span.note(cache=tier or "miss")
                     future = futures.pop(index, None)
                     guess = dispatch.get(index)
                     guess_ok = guess is not None and (
                         index == 0 or guess.digest == checkpoint.digest
                     )
-                    if index and guess is not None and tel.enabled:
-                        tel.counter(
-                            "speculation_validated_total"
-                            if guess_ok
-                            else "speculation_aborted_total"
-                        ).inc()
+                    if index and guess is not None:
+                        if tel.enabled:
+                            tel.counter(
+                                "speculation_validated_total"
+                                if guess_ok
+                                else "speculation_aborted_total"
+                            ).inc()
+                        if telemetry.tracing_active():
+                            telemetry.log_event(
+                                "speculation.validate"
+                                if guess_ok
+                                else "speculation.abort",
+                                level=logging.DEBUG,
+                                segment=index,
+                            )
 
                     events = None
                     if hit is not None:
@@ -242,7 +289,9 @@ class SpeculativeShardScheduler:
                             future.cancel()
                     elif guess_ok and future is not None:
                         try:
-                            events, out_checkpoint, backend = future.result()
+                            events, out_checkpoint, backend, captured = (
+                                future.result()
+                            )
                         except Exception as exc:
                             telemetry.log_event(
                                 "engine.speculative_worker_failed",
@@ -250,6 +299,7 @@ class SpeculativeShardScheduler:
                                 segment=index,
                             )
                         else:
+                            telemetry.replay_captured(captured)
                             cache.put(fingerprint, events, out_checkpoint)
                             checkpoint = out_checkpoint
                             if backend == "reference" and job.backend == "fast":

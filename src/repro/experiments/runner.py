@@ -424,6 +424,18 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="also write the span/log event stream as JSON lines to PATH",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "profile each replay (cProfile hotspots plus per-span "
+            "CPU/alloc attribution); with PATH, also write the profile "
+            "document there (see docs/observability.md)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -460,10 +472,13 @@ def main(argv=None) -> int:
     settings = resolve_settings(
         quick=args.quick, branches=args.branches, backend=args.backend
     )
-    if args.telemetry or args.trace_out:
+    if args.telemetry or args.trace_out or args.profile is not None:
         telemetry.enable()
         if args.trace_out:
             telemetry.set_trace_path(args.trace_out)
+    if args.profile is not None:
+        telemetry.enable_profiling()
+        telemetry.reset_profile()
 
     overall = engine.stats.snapshot()
     report = run_all(
@@ -495,6 +510,13 @@ def main(argv=None) -> int:
             "\nwrote telemetry metrics to "
             + telemetry.write_metrics(args.telemetry)
         )
+    if args.profile is not None:
+        if args.profile:
+            from repro.telemetry.profile import write_profile
+
+            write_profile(args.profile)
+            print("wrote profile document to " + args.profile)
+        telemetry.disable_profiling()
     if args.trace_out:
         telemetry.close_trace()
         print("wrote telemetry trace to " + args.trace_out)

@@ -21,6 +21,7 @@ from repro.results.store import (
     JobRecord,
     ResultStore,
     StoreSchemaError,
+    TelemetryRun,
 )
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "JobRecord",
     "ResultStore",
     "StoreSchemaError",
+    "TelemetryRun",
     "GateVerdict",
     "append_trajectory",
     "check_regression",

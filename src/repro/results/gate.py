@@ -52,6 +52,12 @@ class GateVerdict:
     max_ratio: float
     passed: bool
     reason: str
+    #: Ranked telemetry attribution on failure: ``(kind, name,
+    #: delta_s)`` tuples from diffing this run's telemetry against the
+    #: best historical run's (empty when telemetry was not collected).
+    suspects: tuple = ()
+    #: Telemetry run id persisted for this sample, if any.
+    telemetry_run: Optional[int] = None
 
     def format(self) -> str:
         if self.best is None:
@@ -60,11 +66,16 @@ class GateVerdict:
                 f"{self.seconds:.3f}s as the first baseline"
             )
         status = "ok" if self.passed else "REGRESSION"
-        return (
+        out = (
             f"gate[{self.name}]: {status} {self.seconds:.3f}s vs best "
             f"{self.best:.3f}s (ratio {self.ratio:.2f}, "
             f"limit {self.max_ratio:.2f})"
         )
+        if not self.passed and self.suspects:
+            out += "\n  top suspects (telemetry diff vs baseline):"
+            for kind, name, delta in self.suspects:
+                out += f"\n    - {kind} {name} (+{delta:.6f}s)"
+        return out
 
 
 def check_regression(
@@ -74,6 +85,8 @@ def check_regression(
     max_ratio: float = DEFAULT_MAX_RATIO,
     record: bool = True,
     meta: Optional[Dict] = None,
+    metrics_doc: Optional[Dict] = None,
+    profile_doc: Optional[Dict] = None,
 ) -> GateVerdict:
     """Gate ``seconds`` against the recorded history for ``name``.
 
@@ -83,6 +96,14 @@ def check_regression(
     A first-ever sample passes unconditionally (it becomes the
     baseline).  Failures emit a structured ``log_event`` so the gate's
     firing is countable in the trace stream.
+
+    When the caller collected telemetry (``metrics_doc``, optionally
+    ``profile_doc``), the documents are persisted as a telemetry run
+    linked from the bench sample's meta, and a *failing* gate diffs
+    them against the best historical sample's run (falling back to the
+    latest earlier run for ``name``) -- the ranked suspects land on the
+    verdict and in the ``bench_gate_regression`` event, so the gate
+    names the spans/hotspots that slowed down, not just the ratio.
     """
     if seconds <= 0:
         raise ValueError(f"seconds must be positive, got {seconds}")
@@ -90,8 +111,20 @@ def check_regression(
         raise ValueError(f"max_ratio must be positive, got {max_ratio}")
     history = store.bench_history(name)
     best = min((sample.seconds for sample in history), default=None)
+    run_id: Optional[int] = None
+    if metrics_doc is not None:
+        run_id = store.put_telemetry(
+            name,
+            fingerprint=f"bench:{name}",
+            metrics=metrics_doc,
+            profile=profile_doc,
+            meta={"seconds": round(float(seconds), 6)},
+        )
     if record:
-        store.put_bench(name, seconds, meta)
+        sample_meta = dict(meta or {})
+        if run_id is not None:
+            sample_meta["telemetry_run"] = run_id
+        store.put_bench(name, seconds, sample_meta)
     if best is None:
         verdict = GateVerdict(
             name=name,
@@ -101,10 +134,14 @@ def check_regression(
             max_ratio=max_ratio,
             passed=True,
             reason="first sample, recorded as baseline",
+            telemetry_run=run_id,
         )
     else:
         ratio = seconds / best
         passed = ratio <= max_ratio
+        suspects: tuple = ()
+        if not passed and run_id is not None:
+            suspects = _attribute_regression(store, name, history, run_id)
         verdict = GateVerdict(
             name=name,
             seconds=seconds,
@@ -117,6 +154,8 @@ def check_regression(
                 if passed
                 else f"slowdown ratio {ratio:.2f} exceeds {max_ratio:.2f}"
             ),
+            suspects=suspects,
+            telemetry_run=run_id,
         )
     tel = telemetry.get_registry()
     if tel.enabled:
@@ -134,8 +173,52 @@ def check_regression(
             best=best,
             ratio=verdict.ratio,
             max_ratio=max_ratio,
+            suspects=[
+                {"kind": kind, "name": sname, "delta_s": delta}
+                for kind, sname, delta in verdict.suspects
+            ],
         )
     return verdict
+
+
+def _attribute_regression(
+    store: ResultStore, name: str, history, run_id: int, top: int = 5
+) -> tuple:
+    """Diff this run's telemetry against the baseline run's.
+
+    Baseline resolution: the telemetry run linked from the *best*
+    (fastest) historical sample, else the latest earlier run recorded
+    for ``name``.  Returns ranked ``(kind, name, delta_s)`` tuples,
+    empty when no baseline telemetry exists.
+    """
+    from repro.telemetry.diff import diff_runs
+
+    current = store.get_telemetry(run_id)
+    if current is None:
+        return ()
+    baseline = None
+    linked = [
+        sample
+        for sample in history
+        if isinstance(sample.meta.get("telemetry_run"), int)
+    ]
+    if linked:
+        best_sample = min(linked, key=lambda s: s.seconds)
+        baseline = store.get_telemetry(best_sample.meta["telemetry_run"])
+    if baseline is None:
+        baseline = store.latest_telemetry(name, before=run_id)
+    if baseline is None:
+        return ()
+    diff = diff_runs(
+        baseline.metrics,
+        current.metrics,
+        baseline.profile,
+        current.profile,
+        labels=(f"run {baseline.run_id}", f"run {current.run_id}"),
+    )
+    return tuple(
+        (s["kind"], s["name"], s["delta_s"]) for s in diff.rank(top=top)
+    )
 
 
 def load_trajectory(path: str) -> List[Dict]:

@@ -28,6 +28,7 @@ caches keep the bulky artifacts.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import sqlite3
@@ -47,13 +48,15 @@ __all__ = [
     "JobRecord",
     "ResultStore",
     "StoreSchemaError",
+    "TelemetryRun",
 ]
 
 logger = logging.getLogger(__name__)
 
 #: Version of the sqlite layout.  Bump on any table/column change so a
-#: store written by an older layout fails loudly on open.
-STORE_SCHEMA = 1
+#: store written by an older layout fails loudly on open -- unless an
+#: additive migration is registered in ``_MIGRATIONS`` below.
+STORE_SCHEMA = 2
 
 _TABLES = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -86,9 +89,32 @@ CREATE TABLE IF NOT EXISTS bench (
     seconds REAL NOT NULL,
     meta TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS telemetry (
+    run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    name TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    metrics TEXT NOT NULL,
+    profile TEXT,
+    meta TEXT NOT NULL,
+    digest TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS bench_name ON bench (name);
 CREATE INDEX IF NOT EXISTS jobs_benchmark ON jobs (benchmark);
+CREATE INDEX IF NOT EXISTS telemetry_name ON telemetry (name);
 """
+
+#: Lossless in-place upgrades: ``old store_schema -> description``.  The
+#: v1 -> v2 step only *adds* the ``telemetry`` table (created by the
+#: ``CREATE TABLE IF NOT EXISTS`` script on open), so the upgrade is
+#: just stamping the new version -- existing rows are untouched.
+_MIGRATIONS = {"1": "add telemetry table (additive)"}
+
+
+def _telemetry_digest(metrics: Dict, profile: Optional[Dict]) -> str:
+    canonical = json.dumps(
+        {"metrics": metrics, "profile": profile}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class StoreSchemaError(RuntimeError):
@@ -132,6 +158,24 @@ class BenchSample:
     meta: Dict
 
 
+@dataclass(frozen=True)
+class TelemetryRun:
+    """One persisted telemetry snapshot (+ optional profile digest).
+
+    ``fingerprint`` keys the run to what produced it -- a sweep's
+    job-set fingerprint, a bench name, or a job fingerprint -- while
+    ``run_id`` orders repeated runs of the same thing over time.
+    """
+
+    run_id: int
+    name: str
+    fingerprint: str
+    metrics: Dict
+    profile: Optional[Dict]
+    meta: Dict
+    digest: str
+
+
 class ResultStore:
     """Sqlite-backed store for jobs, experiment records and bench runs.
 
@@ -171,6 +215,27 @@ class ResultStore:
             for key, want in expected.items()
             if stored.get(key) != want
         }
+        if set(drifted) == {"store_schema"}:
+            old = drifted["store_schema"][0]
+            if old in _MIGRATIONS:
+                # Lossless upgrade: the new tables were already created
+                # by the CREATE ... IF NOT EXISTS script above, so only
+                # the version stamp needs updating.
+                self._db.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'store_schema'",
+                    (str(STORE_SCHEMA),),
+                )
+                self._db.commit()
+                log_event(
+                    "result_store_migrated",
+                    level=logging.INFO,
+                    message=_MIGRATIONS[old],
+                    logger=logger,
+                    path=self.path,
+                    from_schema=old,
+                    to_schema=str(STORE_SCHEMA),
+                )
+                return
         if drifted:
             log_event(
                 "result_store_schema_mismatch",
@@ -417,6 +482,117 @@ class ResultStore:
             )
         ]
 
+    # -- telemetry runs ---------------------------------------------------
+
+    def put_telemetry(
+        self,
+        name: str,
+        fingerprint: str,
+        metrics: Dict,
+        profile: Optional[Dict] = None,
+        meta: Optional[Dict] = None,
+    ) -> int:
+        """Persist one run's telemetry snapshot; returns its run id.
+
+        ``metrics`` is a metrics document (:func:`repro.telemetry
+        .metrics_doc`), ``profile`` an optional profile document.  The
+        stored digest covers both, and reads re-validate it -- same
+        corrupt-row contract as job rows.
+        """
+        digest = _telemetry_digest(metrics, profile)
+        cursor = self._db.execute(
+            "INSERT INTO telemetry (name, fingerprint, metrics, profile,"
+            " meta, digest) VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                name,
+                fingerprint,
+                json.dumps(metrics, sort_keys=True),
+                None if profile is None else json.dumps(profile, sort_keys=True),
+                json.dumps(meta or {}, sort_keys=True),
+                digest,
+            ),
+        )
+        self._db.commit()
+        tel = telemetry.get_registry()
+        if tel.enabled:
+            tel.counter("result_store_puts_total", kind="telemetry").inc()
+        return int(cursor.lastrowid)
+
+    def get_telemetry(self, run_id: int) -> Optional[TelemetryRun]:
+        """Fetch one telemetry run, re-validating its digest."""
+        row = self._db.execute(
+            "SELECT run_id, name, fingerprint, metrics, profile, meta,"
+            " digest FROM telemetry WHERE run_id = ?",
+            (run_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            metrics = json.loads(row[3])
+            profile = None if row[4] is None else json.loads(row[4])
+            meta = json.loads(row[5])
+            ok = _telemetry_digest(metrics, profile) == row[6]
+        except (ValueError, TypeError):
+            metrics = profile = meta = None
+            ok = False
+        if not ok:
+            log_event(
+                "result_store_corrupt_row",
+                message="stored telemetry fails digest validation",
+                logger=logger,
+                path=self.path,
+                run_id=run_id,
+            )
+            tel = telemetry.get_registry()
+            if tel.enabled:
+                tel.counter("result_store_corrupt_rows_total").inc()
+            return None
+        return TelemetryRun(
+            run_id=row[0],
+            name=row[1],
+            fingerprint=row[2],
+            metrics=metrics,
+            profile=profile,
+            meta=meta,
+            digest=row[6],
+        )
+
+    def telemetry_runs(
+        self, name: Optional[str] = None
+    ) -> List[Tuple[int, str, str, bool]]:
+        """``(run_id, name, fingerprint, has_profile)`` rows, oldest
+        first, optionally filtered by name."""
+        where, params = ("", ())
+        if name is not None:
+            where, params = (" WHERE name = ?", (name,))
+        return [
+            (row[0], row[1], row[2], row[3] is not None)
+            for row in self._db.execute(
+                "SELECT run_id, name, fingerprint, profile FROM telemetry"
+                + where
+                + " ORDER BY run_id",
+                params,
+            )
+        ]
+
+    def latest_telemetry(
+        self, name: str, before: Optional[int] = None
+    ) -> Optional[TelemetryRun]:
+        """The most recent valid run for ``name`` (optionally with
+        ``run_id < before`` -- the bench gate's baseline lookup)."""
+        clause = " AND run_id < ?" if before is not None else ""
+        params = (name, before) if before is not None else (name,)
+        rows = self._db.execute(
+            "SELECT run_id FROM telemetry WHERE name = ?" + clause
+            + " ORDER BY run_id DESC",
+            params,
+        ).fetchall()
+        for (run_id,) in rows:
+            run = self.get_telemetry(run_id)
+            if run is not None:
+                return run
+        return None
+
     # -- maintenance ------------------------------------------------------
 
     def corrupt_job(self, fingerprint: str) -> None:
@@ -436,5 +612,8 @@ class ResultStore:
             ).fetchone()[0],
             "bench": self._db.execute(
                 "SELECT COUNT(*) FROM bench"
+            ).fetchone()[0],
+            "telemetry": self._db.execute(
+                "SELECT COUNT(*) FROM telemetry"
             ).fetchone()[0],
         }

@@ -22,6 +22,7 @@ the spec apply on top.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 import time
@@ -84,6 +85,18 @@ def _settings(args):
     )
 
 
+def _jobs_fingerprint(specs, base) -> str:
+    """Content address of the combined job set a run covers."""
+    from repro.sweeps.dag import SweepDag
+
+    fingerprints = sorted(
+        job.fingerprint
+        for spec in specs
+        for job in SweepDag.from_spec(spec, base).job_list()
+    )
+    return hashlib.sha256("\n".join(fingerprints).encode("utf-8")).hexdigest()
+
+
 def _cmd_run(args) -> int:
     from repro.engine import configure_engine
 
@@ -94,10 +107,13 @@ def _cmd_run(args) -> int:
         cache_dir=args.cache_dir,
         speculation=args.speculation,
     )
-    if args.telemetry or args.trace_out:
+    collecting = bool(args.telemetry or args.trace_out or args.profile)
+    if collecting:
         telemetry.enable()
         if args.trace_out:
             telemetry.set_trace_path(args.trace_out)
+        if args.profile is not None:
+            telemetry.enable_profiling()
     with ResultStore(args.store) as store:
         for spec in specs:
             outcome = run_sweep(spec, store, base, stream=sys.stdout)
@@ -110,15 +126,40 @@ def _cmd_run(args) -> int:
                 fh.write(markdown)
                 fh.write("\n")
             print(f"wrote Markdown report to {args.markdown}")
+        if collecting:
+            # Persist this run's telemetry (and profile digest) so the
+            # history is queryable and diffable later.
+            profile_doc = (
+                telemetry.profile_document()
+                if args.profile is not None
+                else None
+            )
+            run_id = store.put_telemetry(
+                name="sweep-" + "+".join(spec.name for spec in specs),
+                fingerprint=_jobs_fingerprint(specs, base),
+                metrics=telemetry.metrics_doc(),
+                profile=profile_doc,
+                meta={"specs": [spec.name for spec in specs],
+                      "workers": args.jobs},
+            )
+            print(f"stored telemetry run {run_id} in {args.store}")
         summary = store.summary()
     print(
         f"store {args.store}: {summary['jobs']} job(s), "
         f"{summary['experiments']} experiment record(s), "
-        f"{summary['bench']} bench sample(s)"
+        f"{summary['bench']} bench sample(s), "
+        f"{summary['telemetry']} telemetry run(s)"
     )
     if args.telemetry:
         print("wrote telemetry metrics to "
               + telemetry.write_metrics(args.telemetry))
+    if args.profile:
+        from repro.telemetry.profile import write_profile
+
+        write_profile(args.profile)
+        print(f"wrote profile document to {args.profile}")
+    if args.profile is not None:
+        telemetry.disable_profiling()
     if args.trace_out:
         telemetry.close_trace()
         print(f"wrote telemetry trace to {args.trace_out}")
@@ -153,7 +194,8 @@ def _cmd_status(args) -> int:
         print(
             f"store {args.store}: {summary['jobs']} job(s), "
             f"{summary['experiments']} experiment record(s), "
-            f"{summary['bench']} bench sample(s)"
+            f"{summary['bench']} bench sample(s), "
+            f"{summary['telemetry']} telemetry run(s)"
         )
         for key, experiment in records:
             print(f"  {key[:12]}  {experiment}")
@@ -163,6 +205,39 @@ def _cmd_status(args) -> int:
 
 def _cmd_query(args) -> int:
     with ResultStore(args.store) as store:
+        if args.run is not None:
+            run = store.get_telemetry(args.run)
+            if run is None:
+                print(
+                    f"error: no telemetry run {args.run} in {args.store}",
+                    file=sys.stderr,
+                )
+                return 1
+            from repro.telemetry.diff import RUN_KIND
+
+            print(
+                json.dumps(
+                    {
+                        "kind": RUN_KIND,
+                        "run_id": run.run_id,
+                        "name": run.name,
+                        "fingerprint": run.fingerprint,
+                        "metrics": run.metrics,
+                        "profile": run.profile,
+                        "meta": run.meta,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        if args.runs:
+            runs = store.telemetry_runs(name=args.benchmark)
+            for run_id, name, fingerprint, has_profile in runs:
+                profiled = " +profile" if has_profile else ""
+                print(f"{run_id:>6}  {name:<24} {fingerprint[:12]}{profiled}")
+            print(f"{len(runs)} telemetry run(s)")
+            return 0
         records = store.query_jobs(
             benchmark=args.benchmark, backend=args.query_backend
         )
@@ -193,6 +268,7 @@ def _cmd_query(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.engine.engine import Engine
+    from repro.telemetry.registry import SECONDS_BUCKETS
 
     spec = load_spec(args.spec)
     base = _settings(args)
@@ -203,14 +279,42 @@ def _cmd_bench(args) -> int:
     # A private engine with cold caches: the sample must time real
     # replay work, not the shared engine's warm cache.
     engine = Engine(max_workers=args.jobs)
+    # Telemetry rides along (delta-snapshotted around the timed run) so
+    # the gate can attribute a regression, not just flag it.
+    tel = telemetry.get_registry()
+    was_enabled = tel.enabled
+    tel.enabled = True
+    if args.profile is not None:
+        telemetry.enable_profiling()
+        telemetry.reset_profile()
+    before = tel.snapshot()
     start = time.monotonic()
     engine.run(jobs)
     seconds = time.monotonic() - start
     if args.inject_slowdown != 1.0:
         # Mutation-smoke hook: scale the measured sample so tests and
-        # CI can prove the gate fires without a real regression.
+        # CI can prove the gate fires without a real regression.  The
+        # synthetic extra time is attributed to a dedicated span, so
+        # the telemetry diff deterministically names the "culprit".
+        extra = (args.inject_slowdown - 1.0) * seconds
         seconds *= args.inject_slowdown
+        tel.histogram(
+            "span_seconds", buckets=SECONDS_BUCKETS,
+            span="bench.injected_slowdown",
+        ).observe(extra)
         print(f"injected slowdown x{args.inject_slowdown:g} (smoke mode)")
+    metrics_doc = telemetry.metrics_doc(tel.snapshot().since(before))
+    profile_doc = (
+        telemetry.profile_document() if args.profile is not None else None
+    )
+    if args.profile:
+        from repro.telemetry.profile import write_profile
+
+        write_profile(args.profile)
+        print(f"wrote profile document to {args.profile}")
+    if args.profile is not None:
+        telemetry.disable_profiling()
+    tel.enabled = was_enabled
     name = args.name or f"sweep-{spec.name}"
     with ResultStore(args.store) as store:
         verdict = check_regression(
@@ -224,6 +328,8 @@ def _cmd_bench(args) -> int:
                 "n_branches": base.n_branches,
                 "workers": args.jobs,
             },
+            metrics_doc=metrics_doc,
+            profile_doc=profile_doc,
         )
     print(verdict.format())
     if args.trajectory:
@@ -285,6 +391,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace-out", default=None, metavar="PATH",
         help="write the span/log event stream as JSON lines to PATH",
     )
+    p_run.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="PATH",
+        help=(
+            "profile each replay (cProfile + per-span CPU/alloc); "
+            "with PATH, also write the profile document there"
+        ),
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_render = sub.add_parser(
@@ -315,6 +428,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_query.add_argument(
         "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    p_query.add_argument(
+        "--runs", action="store_true",
+        help="list stored telemetry runs (--benchmark filters by name)",
+    )
+    p_query.add_argument(
+        "--run", type=int, default=None, metavar="ID",
+        help="dump one telemetry run as a JSON document (diffable)",
     )
     p_query.set_defaults(func=_cmd_query)
 
@@ -347,6 +468,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_bench.add_argument(
         "--label", default="", help="label for the trajectory point"
+    )
+    p_bench.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="PATH",
+        help=(
+            "profile the timed run; the digest is stored with the "
+            "telemetry run (with PATH, also written as JSON)"
+        ),
     )
     p_bench.set_defaults(func=_cmd_bench)
 

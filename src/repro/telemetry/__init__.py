@@ -48,6 +48,20 @@ from repro.telemetry.export import (
     snapshot_from_doc,
     write_metrics,
 )
+from repro.telemetry.diff import RUN_KIND, TelemetryDiff, diff_runs
+from repro.telemetry.profile import (
+    PROFILE_SCHEMA,
+    disable_profiling,
+    drain_profile,
+    enable_profiling,
+    merge_profile,
+    profile_block,
+    profile_document,
+    profiling_enabled,
+    reset_profile,
+    validate_profile_doc,
+    write_profile,
+)
 from repro.telemetry.registry import (
     COUNT_BUCKETS,
     SECONDS_BUCKETS,
@@ -56,6 +70,7 @@ from repro.telemetry.registry import (
     disable,
     enable,
     get_registry,
+    histogram_quantile,
     instrument_key,
     parse_key,
     reset,
@@ -68,12 +83,18 @@ from repro.telemetry.schema import (
     validate_trace_file,
 )
 from repro.telemetry.spans import (
+    begin_span_capture,
     close_trace,
+    current_span_id,
+    drain_span_capture,
     log_event,
+    replay_captured,
     set_trace_path,
     trace_path,
     trace_span,
+    tracing_active,
 )
+from repro.telemetry.timeline import chrome_trace, write_chrome_trace
 
 __all__ = [
     "MetricsRegistry",
@@ -88,11 +109,33 @@ __all__ = [
     "enable",
     "disable",
     "reset",
+    "histogram_quantile",
     "trace_span",
     "log_event",
     "set_trace_path",
     "trace_path",
     "close_trace",
+    "tracing_active",
+    "begin_span_capture",
+    "drain_span_capture",
+    "replay_captured",
+    "current_span_id",
+    "PROFILE_SCHEMA",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "profile_block",
+    "profile_document",
+    "drain_profile",
+    "merge_profile",
+    "reset_profile",
+    "validate_profile_doc",
+    "write_profile",
+    "RUN_KIND",
+    "TelemetryDiff",
+    "diff_runs",
+    "chrome_trace",
+    "write_chrome_trace",
     "metrics_doc",
     "snapshot_from_doc",
     "write_metrics",

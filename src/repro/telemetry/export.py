@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.telemetry.registry import (
     MetricsSnapshot,
     get_registry,
+    histogram_quantile,
     parse_key,
 )
 from repro.telemetry.schema import METRICS_KIND, METRICS_SCHEMA
@@ -195,11 +196,18 @@ def render_markdown(doc: dict) -> str:
                     "count": hist["count"],
                     "sum": round(hist["sum"], 4),
                     "mean": round(mean, 4),
+                    "p50": round(histogram_quantile(hist, 0.50), 4),
+                    "p95": round(histogram_quantile(hist, 0.95), 4),
+                    "max": round(hist.get("max", 0.0), 4),
                 }
             )
         lines += [
             markdown_table(
-                rows, columns=["metric", "labels", "count", "sum", "mean"]
+                rows,
+                columns=[
+                    "metric", "labels", "count", "sum", "mean",
+                    "p50", "p95", "max",
+                ],
             ),
             "",
         ]

@@ -39,6 +39,7 @@ __all__ = [
     "COUNT_BUCKETS",
     "instrument_key",
     "parse_key",
+    "histogram_quantile",
     "get_registry",
     "enable",
     "disable",
@@ -102,14 +103,16 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram: cumulative-free counts plus sum/count.
+    """Fixed-bucket histogram: cumulative-free counts plus sum/count/max.
 
     ``buckets`` are inclusive upper bounds; one extra overflow bucket
     catches everything above the last bound.  Buckets are fixed at
     creation so snapshots from different processes merge bucket-wise.
+    The running ``max`` makes overflow-bucket quantiles exact at q=1
+    and bounds the p95 estimate (see :func:`histogram_quantile`).
     """
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "max")
 
     def __init__(self, buckets: Sequence[float]):
         self.buckets = tuple(float(b) for b in buckets)
@@ -118,6 +121,7 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        self.max = 0.0
 
     def observe(self, value: float) -> None:
         i = 0
@@ -128,6 +132,41 @@ class Histogram:
         self.counts[i] += 1
         self.sum += value
         self.count += 1
+        if value > self.max:
+            self.max = value
+
+
+def histogram_quantile(hist: dict, q: float) -> float:
+    """Estimate quantile ``q`` from a snapshot histogram dict.
+
+    Walks the cumulative bucket counts and linearly interpolates within
+    the bucket containing the target rank (lower bound 0 for the first
+    bucket).  The overflow bucket has no upper bound, so anything
+    landing there reports the recorded ``max``.  With zero
+    observations, returns 0.0.
+    """
+    count = hist.get("count", 0)
+    if not count:
+        return 0.0
+    buckets = hist["buckets"]
+    counts = hist["counts"]
+    top = hist.get("max", 0.0)
+    rank = q * count
+    cumulative = 0
+    for i, n in enumerate(counts):
+        prev = cumulative
+        cumulative += n
+        if cumulative >= rank:
+            if i >= len(buckets):  # overflow bucket
+                return top
+            lo = buckets[i - 1] if i else 0.0
+            hi = min(buckets[i], top) if top else buckets[i]
+            if hi < lo:
+                hi = buckets[i]
+            if not n:
+                return hi
+            return lo + (hi - lo) * ((rank - prev) / n)
+    return top
 
 
 class _NoopInstrument:
@@ -198,6 +237,8 @@ class MetricsSnapshot:
                     ],
                     "sum": hist["sum"] - prior["sum"],
                     "count": delta_count,
+                    # max is not subtractable; keep the current high-water
+                    "max": hist.get("max", 0.0),
                 }
         return MetricsSnapshot(counters, dict(self.gauges), histograms)
 
@@ -267,6 +308,7 @@ class MetricsRegistry:
                     "counts": list(h.counts),
                     "sum": h.sum,
                     "count": h.count,
+                    "max": h.max,
                 }
                 for k, h in self._histograms.items()
             },
@@ -305,6 +347,9 @@ class MetricsRegistry:
                     mine.sum += hist["sum"]
                     mine.count += hist["count"]
                     mine.counts[-1] += hist["count"]
+                theirs = hist.get("max", 0.0)
+                if theirs > mine.max:
+                    mine.max = theirs
         finally:
             self.enabled = was_enabled
 

@@ -1,31 +1,42 @@
 """The stable telemetry schemas plus zero-dependency validators.
 
-Two documents leave the telemetry layer:
+Three documents leave the telemetry layer:
 
 **Metrics document** (``--telemetry[=PATH]``, JSON)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "kind": "repro-telemetry-metrics",
       "counters":   {"name{label=value,...}": int, ...},
       "gauges":     {"name{...}": number, ...},
       "histograms": {"name{...}": {"buckets": [number...],
                                    "counts": [int...],   # len(buckets)+1
                                    "sum": number,
-                                   "count": int}, ...}
+                                   "count": int,
+                                   "max": number}, ...}
     }
 
 **Trace stream** (``--trace-out PATH``, JSON lines).  Line one is a
 ``meta`` event; every other line is a ``span`` or ``log`` event::
 
-    {"event": "meta", "schema": 1}
+    {"event": "meta", "schema": 2, "pid": int}
     {"event": "span", "name": str, "span_id": int,
-     "parent_id": int|null, "duration_s": number, "ok": bool,
-     "fields": {...}?}
+     "parent_id": int|null, "pid": int, "ts": number,
+     "duration_s": number, "ok": bool,
+     "cpu_ns": int?, "alloc_bytes": int?, "fields": {...}?}
     {"event": "log", "name": str, "level": str, "message": str,
-     "parent_id": int|null, "fields": {...}}
+     "parent_id": int|null, "pid": int, "ts": number, "fields": {...}}
 
-Both schemas are versioned; bump the constants when a field changes
+Schema 2 made traces cross-process mergeable: every event carries the
+emitting ``pid``, spans carry a shared-monotonic start ``ts``, span ids
+are pid-namespaced (collision-free across workers), histograms track a
+running ``max``, and profiling may attach ``cpu_ns``/``alloc_bytes``
+to spans.
+
+**Profile document** (``--profile[=PATH]``, JSON) — see
+:mod:`repro.telemetry.profile` for its schema and validator.
+
+All schemas are versioned; bump the constants when a field changes
 meaning so saved runs from different versions are never silently
 diffed against each other.  Validation is hand-rolled (no jsonschema
 dependency) and returns human-readable error strings.
@@ -45,8 +56,8 @@ __all__ = [
     "validate_trace_file",
 ]
 
-METRICS_SCHEMA = 1
-EVENT_SCHEMA = 1
+METRICS_SCHEMA = 2
+EVENT_SCHEMA = 2
 METRICS_KIND = "repro-telemetry-metrics"
 
 _EVENT_KINDS = ("meta", "span", "log")
@@ -120,6 +131,8 @@ def _validate_histogram(key: str, hist) -> List[str]:
         )
     if not _is_num(hist.get("sum")):
         errors.append(f"histogram {key!r}: sum must be a number")
+    if not _is_num(hist.get("max")):
+        errors.append(f"histogram {key!r}: max must be a number")
     return errors
 
 
@@ -136,12 +149,18 @@ def validate_event(obj) -> List[str]:
             errors.append(
                 f"meta schema must be {EVENT_SCHEMA}, got {obj.get('schema')!r}"
             )
+        if not _is_int(obj.get("pid")):
+            errors.append("meta event: pid must be an integer")
         return errors
     if not isinstance(obj.get("name"), str):
         errors.append(f"{kind} event: name must be a string")
     parent = obj.get("parent_id")
     if parent is not None and not _is_int(parent):
         errors.append(f"{kind} event: parent_id must be an integer or null")
+    if not _is_int(obj.get("pid")):
+        errors.append(f"{kind} event: pid must be an integer")
+    if not _is_num(obj.get("ts")):
+        errors.append(f"{kind} event: ts must be a number")
     if kind == "span":
         if not _is_int(obj.get("span_id")):
             errors.append("span event: span_id must be an integer")
@@ -149,6 +168,12 @@ def validate_event(obj) -> List[str]:
             errors.append("span event: duration_s must be a number")
         if not isinstance(obj.get("ok"), bool):
             errors.append("span event: ok must be a boolean")
+        if "cpu_ns" in obj and not _is_int(obj["cpu_ns"]):
+            errors.append("span event: cpu_ns must be an integer")
+        if "alloc_bytes" in obj and not _is_int(obj["alloc_bytes"]):
+            errors.append("span event: alloc_bytes must be an integer")
+        if "fields" in obj and not isinstance(obj["fields"], dict):
+            errors.append("span event: fields must be an object")
     else:  # log
         if not isinstance(obj.get("level"), str):
             errors.append("log event: level must be a string")

@@ -149,7 +149,7 @@ class TestStoreExperiments:
             store.put_experiment("k", "table2", {}, None, "x")
             store.put_bench("quick", 1.5)
             assert store.summary() == {
-                "jobs": 1, "experiments": 1, "bench": 1,
+                "jobs": 1, "experiments": 1, "bench": 1, "telemetry": 0,
             }
 
 
