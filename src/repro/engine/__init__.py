@@ -17,6 +17,13 @@ from repro.engine.engine import (
     execute_job,
     get_engine,
 )
+from repro.engine.executor import (
+    EXECUTOR_NAMES,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
 from repro.engine.job import ReplayOutcome, SimJob
 from repro.engine.segmented import (
     ChainGuessProvider,
@@ -51,9 +58,13 @@ __all__ = [
     "ChainGuessProvider",
     "ChainRecord",
     "CorruptingGuessProvider",
+    "EXECUTOR_NAMES",
     "Engine",
     "EngineStats",
     "EstimatorSpec",
+    "Executor",
+    "PoolExecutor",
+    "SerialExecutor",
     "GATING_POLICY",
     "GuessProvider",
     "METRICS_SCHEMA",
@@ -78,6 +89,7 @@ __all__ = [
     "get_engine",
     "metrics_digest",
     "replay_segmented",
+    "resolve_executor",
     "segment_fingerprint",
     "select_scheduler",
 ]

@@ -2,22 +2,23 @@
 
 :class:`Engine` is the single choke point for all front-end replay
 work.  ``Engine.run(jobs)`` deduplicates the job list by fingerprint,
-serves repeats from the replay cache (memory, then disk), executes the
-remainder -- in-process, or fanned out over a ``ProcessPoolExecutor``
-when ``max_workers > 1`` -- and returns outcomes in the order the jobs
-were given.  Replay is fully deterministic in the job description, so
-serial, parallel and cached runs of the same job produce bit-identical
-events and results; the execution mode is purely a throughput knob.
+serves repeats from the replay cache (memory, then disk), and hands the
+remainder to an :class:`~repro.engine.executor.Executor` -- in-process
+(serial), fanned out over a local process pool, or enqueued on the
+distributed fleet (:mod:`repro.fleet`) -- returning outcomes in the
+order the jobs were given.  Replay is fully deterministic in the job
+description, so serial, parallel, fleet and cached runs of the same job
+produce bit-identical events and results; the execution mode is purely
+a throughput knob.
 
 A module-level default engine serves the experiment suite; configure it
-once from the CLI (``--jobs``, ``--cache-dir``) via
+once from the CLI (``--jobs``, ``--cache-dir``, ``--executor``) via
 :func:`configure_engine`.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
 from repro import telemetry
@@ -29,6 +30,7 @@ from repro.engine.cache import (
     SegmentCache,
     TraceCache,
 )
+from repro.engine.executor import EXECUTOR_NAMES, resolve_executor
 from repro.engine.job import SPECULATION_MODES, ReplayOutcome, SimJob
 
 __all__ = [
@@ -162,39 +164,14 @@ def execute_job(job: SimJob) -> ReplayOutcome:
     )
 
 
-#: Sticky per-worker decision: did the parent have an open trace sink
-#: at fork time?  The inherited sink is closed after the first job, so
-#: the flag must outlive it for later jobs on the same worker.
-_worker_capture: Optional[bool] = None
+def _traced_execute_job(job: SimJob) -> ReplayOutcome:
+    """Worker-side task: one job under its ``worker.replay`` span.
 
-
-def _execute_job_telemetry(job: SimJob):
-    """Worker entry when the parent collects telemetry.
-
-    Enables the worker-local registry, runs the job, and ships a
-    picklable snapshot (drained, so per-job deltas never double count)
-    back with the outcome for the parent to merge -- plus, when the
-    parent is tracing, the worker's captured span events (re-parented
-    and re-emitted by the parent; span ids are pid-namespaced so the
-    streams merge collision-free) and, when profiling, the worker's
-    drained cProfile hotspot accumulator.
-
-    A fork-started worker inherits the parent's registry *contents* and
-    its open trace sink; both are shed before collecting, otherwise the
-    parent's pre-fork counters would be merged back a second time (and
-    worker spans would interleave into the parent's trace file).
+    The executor layer owns the telemetry bootstrap and shipment
+    (:mod:`repro.telemetry.workers`); this wrapper only contributes the
+    span that names the work, so fleet and pool timelines both show one
+    ``worker.replay`` lane entry per executed job.
     """
-    global _worker_capture
-    from repro.telemetry import profile
-
-    if _worker_capture is None:
-        _worker_capture = telemetry.tracing_active()
-    telemetry.close_trace()
-    registry = telemetry.enable()
-    registry.reset()
-    profile.reset_profile()
-    if _worker_capture:
-        telemetry.begin_span_capture()
     with telemetry.trace_span(
         "worker.replay",
         benchmark=job.benchmark,
@@ -203,8 +180,7 @@ def _execute_job_telemetry(job: SimJob):
     ) as span:
         outcome = execute_job(job)
         span.note(backend=outcome.backend)
-    events = telemetry.drain_span_capture() if _worker_capture else []
-    return outcome, registry.drain(), events, profile.drain_profile()
+    return outcome
 
 
 class EngineStats:
@@ -268,6 +244,11 @@ class Engine:
         segment_disk_budget: Byte budget for the segment cache's disk
             tier (least-recently-used ``.pkl`` entries are unlinked past
             it); ``None`` leaves the tier unbounded.
+        executor: Where pending (uncached) jobs run -- an
+            :class:`~repro.engine.executor.Executor` instance, a name
+            from :data:`~repro.engine.executor.EXECUTOR_NAMES`, or
+            ``None``/"auto" to pick pool-vs-serial from the worker
+            budget per batch (the historical behavior).
     """
 
     def __init__(
@@ -278,6 +259,7 @@ class Engine:
         trace_budget: int = DEFAULT_TRACE_BUDGET,
         speculation: str = "auto",
         segment_disk_budget: Optional[int] = None,
+        executor=None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -286,8 +268,14 @@ class Engine:
                 f"speculation must be one of {SPECULATION_MODES}, "
                 f"got {speculation!r}"
             )
+        if isinstance(executor, str) and executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES} or an "
+                f"Executor instance, got {executor!r}"
+            )
         self.max_workers = max_workers
         self.speculation = speculation
+        self.executor = executor
         #: Optional ``callable(job, outcome)`` invoked once per
         #: *executed* job (never for cache hits), as each outcome
         #: lands -- not after the whole batch.  The sweep layer points
@@ -376,49 +364,21 @@ class Engine:
                 )
 
             if pending:
-                n = min(workers, len(pending)) if len(pending) > 1 else 1
-                if n > 1:
-                    with ProcessPoolExecutor(max_workers=n) as pool:
-                        if tel.enabled:
-                            # Workers collect into their own registries;
-                            # each job ships a drained snapshot home,
-                            # plus captured spans and profile data.
-                            for job, (outcome, snap, events, prof) in zip(
-                                pending,
-                                pool.map(
-                                    _execute_job_telemetry,
-                                    pending,
-                                    chunksize=1,
-                                ),
-                            ):
-                                tel.merge(snap)
-                                telemetry.replay_captured(events)
-                                telemetry.merge_profile(prof)
-                                self._finish(job, outcome, resolved)
-                        else:
-                            for job, outcome in zip(
-                                pending,
-                                pool.map(execute_job, pending, chunksize=1),
-                            ):
-                                self._finish(job, outcome, resolved)
+                executor = resolve_executor(
+                    self.executor, workers, cache_dir=self.cache_dir
+                )
+                distributed = executor.will_distribute(len(pending))
+                # Outcomes land one at a time, in submission order --
+                # the executor owns worker bootstrap and telemetry
+                # shipment, _finish owns caching and the result sink.
+                for job, outcome in executor.execute(pending, self):
+                    self._finish(job, outcome, resolved)
+                if distributed:
                     self._parallel_executed += len(pending)
                     if tel.enabled:
                         tel.counter("engine_jobs_parallel_total").inc(
                             len(pending)
                         )
-                else:
-                    # In-process execution gets the full worker budget:
-                    # a lone segmented job can spend it on speculative
-                    # shard fan-out instead of job-level parallelism.
-                    for job in pending:
-                        outcome = _replay_trace(
-                            job,
-                            self.trace(*job.trace_key),
-                            segments=self._segments,
-                            workers=workers,
-                            speculation=self.speculation,
-                        )
-                        self._finish(job, outcome, resolved)
 
             return [resolved[fp] for fp in fingerprints]
 
@@ -566,6 +526,7 @@ def configure_engine(
     event_budget: Optional[int] = None,
     speculation: Optional[str] = None,
     segment_disk_budget: Optional[int] = None,
+    executor=None,
     reset: bool = False,
 ) -> Engine:
     """Create or reconfigure the default engine.
@@ -582,6 +543,7 @@ def configure_engine(
             cache_dir=cache_dir,
             speculation=speculation or "auto",
             segment_disk_budget=segment_disk_budget,
+            executor=executor,
         )
         return _default_engine
     engine = _default_engine
@@ -604,4 +566,6 @@ def configure_engine(
         engine._segments._lru.budget = event_budget
     if segment_disk_budget is not None:
         engine._segments.disk_budget_bytes = segment_disk_budget
+    if executor is not None:
+        engine.executor = executor
     return engine

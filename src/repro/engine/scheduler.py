@@ -155,12 +155,17 @@ class ChainRun:
     fell_back: bool
 
 
-def select_scheduler(job: SimJob, workers: int = 1, speculation: str = "auto"):
+def select_scheduler(
+    job: SimJob, workers: int = 1, speculation: str = "auto", executor=None
+):
     """Pick the strategy for ``job`` on throughput grounds only.
 
     Speculation needs spare workers to fan shards out to and must be
     enabled by both the job and the caller (the engine's knob arrives
     via ``speculation``); anything else runs the sequential chain.
+    ``executor`` optionally pins the dispatch-capable
+    :class:`~repro.engine.executor.Executor` the speculative scheduler
+    fans shards out through (default: a process pool per run).
     """
     if (
         workers > 1
@@ -170,7 +175,7 @@ def select_scheduler(job: SimJob, workers: int = 1, speculation: str = "auto"):
     ):
         from repro.engine.speculation import SpeculativeShardScheduler
 
-        return SpeculativeShardScheduler(max_workers=workers)
+        return SpeculativeShardScheduler(max_workers=workers, executor=executor)
     return SequentialChain()
 
 

@@ -50,11 +50,11 @@ Telemetry (metrics are parent-side only; workers count nothing):
 from __future__ import annotations
 
 import logging
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional
 
 from repro import telemetry
 from repro.engine.chain import ReplayCheckpoint, SegmentExecutor
+from repro.engine.executor import Executor, PoolExecutor
 
 __all__ = [
     "GuessProvider",
@@ -134,43 +134,26 @@ class CorruptingGuessProvider(GuessProvider):
         return guess
 
 
-#: Sticky per-worker decision: was the parent tracing at fork time?
-#: (The inherited sink is closed on the worker's first call, so the
-#: flag must outlive it for later segments on the same worker.)
-_worker_capture: Optional[bool] = None
-
-
 def speculative_worker(job, records, stop: int, checkpoint: ReplayCheckpoint):
-    """Execute one segment in a worker process.
+    """Execute one segment (the worker-side dispatch task).
 
-    Module-level so the process pool can pickle it by reference.  The
+    Module-level so process pools can pickle it by reference.  The
     incoming ``checkpoint`` may be a wrong guess -- the worker executes
     faithfully from whatever state it was handed and the parent's
-    digest guard decides whether the result is usable.  Telemetry is
-    disabled first: the parent owns all counting, and a forked child
-    inherits the parent's enabled registry.
-
-    When the parent was tracing at fork time, the worker wraps the
-    segment in a ``worker.segment`` span captured into an in-memory
-    buffer; accepted results ship the buffer home for the parent to
-    re-emit under its ``engine.segment`` span, which is what makes a
-    speculative replay render as shard lanes on one timeline.
+    digest guard decides whether the result is usable.  The executor
+    layer owns the telemetry bootstrap (workers run with counting
+    disabled -- the parent owns all counting -- and captured spans ride
+    the shipment, see :mod:`repro.telemetry.workers`); the
+    ``worker.segment`` span here is what renders as a shard lane when
+    an accepted result's shipment is absorbed.
     """
-    global _worker_capture
-    if _worker_capture is None:
-        _worker_capture = telemetry.tracing_active()
-    telemetry.close_trace()
-    telemetry.disable()
-    if _worker_capture:
-        telemetry.begin_span_capture()
     with telemetry.trace_span(
         "worker.segment", position=checkpoint.position, stop=stop
     ) as span:
         executor = SegmentExecutor(job)
         events, out_checkpoint, backend = executor.run(records, stop, checkpoint)
         span.note(backend=backend)
-    captured = telemetry.drain_span_capture() if _worker_capture else []
-    return events, out_checkpoint, backend, captured
+    return events, out_checkpoint, backend
 
 
 class SpeculativeShardScheduler:
@@ -185,9 +168,17 @@ class SpeculativeShardScheduler:
 
     name = "speculative"
 
-    def __init__(self, max_workers: int = 2, guess_provider: Optional[GuessProvider] = None):
+    def __init__(
+        self,
+        max_workers: int = 2,
+        guess_provider: Optional[GuessProvider] = None,
+        executor: Optional[Executor] = None,
+    ):
         self.max_workers = max(2, int(max_workers))
         self.guess_provider = guess_provider
+        #: Dispatch-capable executor for the shard fan-out; defaults to
+        #: a process pool sized to ``max_workers`` per run.
+        self.executor = executor
 
     def _resolve_provider(self, plan, cache) -> Optional[GuessProvider]:
         if self.guess_provider is not None:
@@ -228,9 +219,13 @@ class SpeculativeShardScheduler:
         checkpoints: List[ReplayCheckpoint] = []
         worker_fell_back = False
 
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+        # Workers count nothing (the parent owns all speculation
+        # accounting); their captured spans ride each accepted
+        # result's shipment.
+        dispatcher = self.executor or PoolExecutor(self.max_workers)
+        with dispatcher.dispatch(count=False) as session:
             futures = {
-                index: pool.submit(
+                index: session.submit(
                     speculative_worker,
                     job,
                     tuple(trace.slice(*plan.bounds[index])),
@@ -289,7 +284,7 @@ class SpeculativeShardScheduler:
                             future.cancel()
                     elif guess_ok and future is not None:
                         try:
-                            events, out_checkpoint, backend, captured = (
+                            (events, out_checkpoint, backend), shipment = (
                                 future.result()
                             )
                         except Exception as exc:
@@ -299,7 +294,7 @@ class SpeculativeShardScheduler:
                                 segment=index,
                             )
                         else:
-                            telemetry.replay_captured(captured)
+                            telemetry.absorb_shipment(shipment)
                             cache.put(fingerprint, events, out_checkpoint)
                             checkpoint = out_checkpoint
                             if backend == "reference" and job.backend == "fast":

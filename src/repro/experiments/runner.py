@@ -389,6 +389,26 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--executor",
+        choices=("auto", "serial", "pool", "fleet"),
+        default="auto",
+        help=(
+            "where pending jobs run: auto (pool when --jobs > 1), "
+            "serial, pool, or the distributed fleet queue drained by "
+            "'python -m repro.fleet worker' (fleet requires "
+            "--cache-dir; see docs/distributed.md)"
+        ),
+    )
+    parser.add_argument(
+        "--fleet-queue",
+        default=None,
+        metavar="PATH",
+        help=(
+            "fleet work queue for --executor fleet "
+            "(default <cache-dir>/fleet/queue.sqlite)"
+        ),
+    )
+    parser.add_argument(
         "--segment-disk-budget",
         type=int,
         default=None,
@@ -463,11 +483,24 @@ def main(argv=None) -> int:
             f"--segment-disk-budget must be positive, "
             f"got {args.segment_disk_budget}"
         )
+    executor = args.executor
+    if executor == "fleet":
+        from repro.fleet import FleetExecutor, default_queue_path
+
+        if args.cache_dir is None:
+            parser.error(
+                "--executor fleet requires --cache-dir (the shared disk "
+                "cache is how fleet workers hand outcomes back)"
+            )
+        executor = FleetExecutor(
+            args.fleet_queue or default_queue_path(args.cache_dir)
+        )
     engine = configure_engine(
         max_workers=args.jobs,
         cache_dir=args.cache_dir,
         speculation=args.speculation,
         segment_disk_budget=args.segment_disk_budget,
+        executor=executor,
     )
     settings = resolve_settings(
         quick=args.quick, branches=args.branches, backend=args.backend

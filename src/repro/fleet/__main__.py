@@ -1,0 +1,124 @@
+"""``python -m repro.fleet`` -- fleet worker and queue inspection.
+
+Subcommands::
+
+    worker   drain a queue against a shared cache dir until stopped
+    status   per-state row counts and the dedup tally for a queue
+
+A minimal two-worker fleet on one machine::
+
+    python -m repro.fleet worker --queue Q --cache-dir C --idle-exit 10 &
+    python -m repro.fleet worker --queue Q --cache-dir C --idle-exit 10 &
+    python -m repro.sweeps run quick --quick --executor fleet \\
+        --cache-dir C --fleet-queue Q
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.fleet.queue import (
+    DEFAULT_LEASE_SECONDS,
+    FleetSchemaError,
+    WorkQueue,
+)
+from repro.fleet.worker import FleetWorker
+
+__all__ = ["main"]
+
+
+def _cmd_worker(args) -> int:
+    worker = FleetWorker(
+        queue_path=args.queue,
+        cache_dir=args.cache_dir,
+        lease_seconds=args.lease_seconds,
+        poll=args.poll,
+        max_jobs=args.max_jobs,
+        idle_exit=args.idle_exit,
+        worker_id=args.worker_id,
+    )
+    worker.install_signal_handlers()
+    print(
+        f"fleet worker {worker.worker_id} draining {args.queue} "
+        f"(cache {args.cache_dir})"
+    )
+    completed = worker.run()
+    print(f"fleet worker {worker.worker_id} exiting: {completed} job(s) done")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    with WorkQueue(args.queue) as queue:
+        status = queue.status()
+    print(
+        f"queue {args.queue}: {status['rows']} job row(s) from "
+        f"{status['requests']} enqueue request(s) "
+        f"({status['requests'] - status['rows']} deduplicated)"
+    )
+    for state in ("pending", "leased", "done", "failed"):
+        print(f"  {state:>8}: {status[state]}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Distributed experiment fleet (see docs/distributed.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_worker = sub.add_parser(
+        "worker", help="drain a fleet queue against a shared cache dir"
+    )
+    p_worker.add_argument(
+        "--queue", required=True, metavar="PATH", help="fleet queue database"
+    )
+    p_worker.add_argument(
+        "--cache-dir", required=True, metavar="PATH",
+        help="shared engine cache dir (outcomes are handed back here)",
+    )
+    p_worker.add_argument(
+        "--lease-seconds", type=float, default=DEFAULT_LEASE_SECONDS,
+        metavar="S", help="lease duration per claimed job "
+        f"(default {DEFAULT_LEASE_SECONDS:g})",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="sleep between empty-queue polls (default 0.2)",
+    )
+    p_worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after completing N jobs",
+    )
+    p_worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="S",
+        help="exit after S seconds with nothing claimable",
+    )
+    p_worker.add_argument(
+        "--worker-id", default=None,
+        help="override the worker id (default host-pid)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
+
+    p_status = sub.add_parser("status", help="queue row counts per state")
+    p_status.add_argument(
+        "--queue", required=True, metavar="PATH", help="fleet queue database"
+    )
+    p_status.set_defaults(func=_cmd_status)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "lease_seconds", 1.0) <= 0:
+        parser.error("--lease-seconds must be positive")
+    if getattr(args, "poll", 1.0) <= 0:
+        parser.error("--poll must be positive")
+    try:
+        return args.func(args)
+    except FleetSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,473 @@
+"""Sqlite-backed work queue keyed by job fingerprints.
+
+The queue is the coordination half of the fleet (the data half is the
+engine's shared content-addressed disk caches): submitters enqueue
+:class:`~repro.engine.job.SimJob` s, detached workers lease them one at
+a time, execute against the shared ``--cache-dir``, and mark them done
+with their telemetry shipment attached.  Rows are keyed by the job
+fingerprint, so two submitters of the same job share one row and one
+execution -- cross-submitter dedup falls out of content addressing,
+exactly as it does in the replay cache.
+
+State machine per row::
+
+    pending --lease--> leased --complete--> done
+       ^                 |  |
+       |   (lease expiry / fail, attempts left)
+       +-----------------+  +--fail/expiry at max_attempts--> failed
+
+A ``failed`` row is revived to ``pending`` by a later enqueue of the
+same fingerprint (a fresh submitter asking again resets the attempt
+budget).  Leases carry a wall-clock expiry: a worker that dies
+mid-lease simply stops renewing, and the row becomes claimable again
+-- by the next worker's :meth:`WorkQueue.lease` or a submitter's
+:meth:`WorkQueue.reap_expired` -- with a ``fleet_lease_expired_total``
+counter and a structured ``log_event`` marking the requeue.
+
+Integrity follows the result store's idiom: the database stamps
+:data:`FLEET_SCHEMA` plus the job fingerprint schema in a ``meta``
+table and refuses to open under any other version
+(:class:`FleetSchemaError`) -- fingerprints from a different schema
+would silently miss the dedup they exist to provide.
+
+Concurrency: every mutation runs inside ``BEGIN IMMEDIATE`` so
+concurrent submitters and workers serialize on sqlite's write lock
+(with a generous busy timeout); claims are therefore atomic without
+relying on ``RETURNING`` support.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro import telemetry
+from repro.engine.job import FINGERPRINT_SCHEMA, SimJob
+from repro.telemetry.spans import log_event
+
+__all__ = [
+    "FLEET_SCHEMA",
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FleetSchemaError",
+    "LeasedJob",
+    "WorkQueue",
+    "default_queue_path",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Version of the queue layout; bump on any table/column change so a
+#: queue written by an older layout fails loudly on open.
+FLEET_SCHEMA = 1
+
+DEFAULT_LEASE_SECONDS = 60.0
+DEFAULT_MAX_ATTEMPTS = 3
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    fingerprint TEXT PRIMARY KEY,
+    payload BLOB NOT NULL,
+    state TEXT NOT NULL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    requests INTEGER NOT NULL DEFAULT 0,
+    enqueued_at REAL NOT NULL,
+    lease_expires REAL,
+    worker_id TEXT,
+    error TEXT,
+    shipment BLOB
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state);
+"""
+
+_STATES = ("pending", "leased", "done", "failed")
+
+
+def default_queue_path(cache_dir: str) -> str:
+    """The conventional queue location beside a shared cache dir."""
+    return os.path.join(cache_dir, "fleet", "queue.sqlite")
+
+
+class FleetSchemaError(RuntimeError):
+    """The queue on disk was written under an incompatible schema."""
+
+
+@dataclass(frozen=True)
+class LeasedJob:
+    """One claimed unit of work."""
+
+    fingerprint: str
+    job: SimJob
+    attempts: int
+    lease_expires: float
+    #: Worker id whose expired lease this claim displaced, if any.
+    expired_from: Optional[str] = None
+
+
+class WorkQueue:
+    """One fleet queue database (usable as a context manager)."""
+
+    def __init__(self, path: str, timeout: float = 30.0):
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        # Autocommit mode plus explicit BEGIN IMMEDIATE per mutation:
+        # the python sqlite3 implicit-transaction machinery would defer
+        # the write lock and turn concurrent claims into late aborts.
+        self._conn = sqlite3.connect(
+            self.path, timeout=timeout, isolation_level=None
+        )
+        self._conn.execute(f"PRAGMA busy_timeout = {int(timeout * 1000)}")
+        self._conn.executescript(_TABLES)
+        self._check_schema()
+
+    # -- schema -----------------------------------------------------------
+
+    def _meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def _check_schema(self) -> None:
+        expected = {
+            "fleet_schema": str(FLEET_SCHEMA),
+            "fingerprint_schema": str(FINGERPRINT_SCHEMA),
+        }
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            for key, value in expected.items():
+                found = self._meta(key)
+                if found is None:
+                    self._conn.execute(
+                        "INSERT INTO meta (key, value) VALUES (?, ?)",
+                        (key, value),
+                    )
+                elif found != value:
+                    raise FleetSchemaError(
+                        f"fleet queue {self.path} was written under "
+                        f"{key}={found}, this build expects {value}; "
+                        "use a fresh queue path"
+                    )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    # -- submitter side ---------------------------------------------------
+
+    def enqueue(
+        self, job: SimJob, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> bool:
+        """Ask for ``job``; returns True when this created a new row.
+
+        A duplicate enqueue (any submitter, any time) only bumps the
+        row's ``requests`` tally -- the execution is shared.  A
+        previously ``failed`` row is revived to ``pending`` with a
+        fresh attempt budget: a new submitter asking again is the
+        retry signal.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        fp = job.fingerprint
+        tel = telemetry.get_registry()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT state FROM jobs WHERE fingerprint = ?", (fp,)
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO jobs (fingerprint, payload, state, "
+                    "attempts, max_attempts, requests, enqueued_at) "
+                    "VALUES (?, ?, 'pending', 0, ?, 1, ?)",
+                    (fp, pickle.dumps(job), max_attempts, time.time()),
+                )
+                created = True
+            elif row[0] == "failed":
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'pending', attempts = 0, "
+                    "max_attempts = ?, requests = requests + 1, "
+                    "error = NULL, worker_id = NULL, lease_expires = NULL "
+                    "WHERE fingerprint = ?",
+                    (max_attempts, fp),
+                )
+                created = False
+            else:
+                self._conn.execute(
+                    "UPDATE jobs SET requests = requests + 1 "
+                    "WHERE fingerprint = ?",
+                    (fp,),
+                )
+                created = False
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        if created and tel.enabled:
+            tel.counter("fleet_enqueued_total").inc()
+        return created
+
+    def states(
+        self, fingerprints: Iterable[str]
+    ) -> Dict[str, Tuple[str, Optional[str], int]]:
+        """``fingerprint -> (state, error, attempts)`` for known rows."""
+        out: Dict[str, Tuple[str, Optional[str], int]] = {}
+        for fp in fingerprints:
+            row = self._conn.execute(
+                "SELECT state, error, attempts FROM jobs "
+                "WHERE fingerprint = ?",
+                (fp,),
+            ).fetchone()
+            if row is not None:
+                out[fp] = (row[0], row[1], row[2])
+        return out
+
+    def take_shipment(self, fingerprint: str) -> Optional[bytes]:
+        """A done row's pickled telemetry shipment (left in place:
+        other submitters of the same fingerprint want it too)."""
+        row = self._conn.execute(
+            "SELECT shipment FROM jobs WHERE fingerprint = ? "
+            "AND state = 'done'",
+            (fingerprint,),
+        ).fetchone()
+        return row[0] if row else None
+
+    def reap_expired(self) -> int:
+        """Requeue every expired lease (submitter-side safety sweep).
+
+        Rows out of attempt budget go to ``failed`` instead, so a
+        waiting submitter surfaces the error rather than spinning.
+        Returns the number of rows touched.
+        """
+        now = time.time()
+        tel = telemetry.get_registry()
+        expired = []
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            rows = self._conn.execute(
+                "SELECT fingerprint, worker_id, attempts, max_attempts "
+                "FROM jobs WHERE state = 'leased' AND lease_expires < ?",
+                (now,),
+            ).fetchall()
+            for fp, worker_id, attempts, max_attempts in rows:
+                exhausted = attempts >= max_attempts
+                if exhausted:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = 'failed', error = ?, "
+                        "worker_id = NULL, lease_expires = NULL "
+                        "WHERE fingerprint = ?",
+                        (
+                            f"lease expired {attempts} time(s) "
+                            f"(max_attempts={max_attempts})",
+                            fp,
+                        ),
+                    )
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = 'pending', "
+                        "worker_id = NULL, lease_expires = NULL "
+                        "WHERE fingerprint = ?",
+                        (fp,),
+                    )
+                expired.append((fp, worker_id, exhausted))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        for fp, worker_id, exhausted in expired:
+            if tel.enabled:
+                tel.counter("fleet_lease_expired_total").inc()
+            log_event(
+                "fleet_lease_expired",
+                message="lease expired; job "
+                + ("failed (attempts exhausted)" if exhausted else "requeued"),
+                logger=logger,
+                fingerprint=fp[:12],
+                worker=worker_id or "",
+            )
+        return len(expired)
+
+    # -- worker side ------------------------------------------------------
+
+    def lease(
+        self,
+        worker_id: str,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> Optional[LeasedJob]:
+        """Atomically claim the oldest claimable row, if any.
+
+        Claimable means ``pending``, or ``leased`` past its expiry (a
+        dead worker's abandoned claim -- counted and logged as a
+        requeue).  A claim that would exceed the row's attempt budget
+        marks it ``failed`` instead and moves on to the next candidate.
+        """
+        tel = telemetry.get_registry()
+        while True:
+            now = time.time()
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT fingerprint, payload, attempts, max_attempts, "
+                    "state, worker_id FROM jobs WHERE state = 'pending' "
+                    "OR (state = 'leased' AND lease_expires < ?) "
+                    "ORDER BY enqueued_at LIMIT 1",
+                    (now,),
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("COMMIT")
+                    return None
+                fp, payload, attempts, max_attempts, state, prior = row
+                expired_from = prior if state == "leased" else None
+                attempts += 1
+                if attempts > max_attempts:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = 'failed', error = ?, "
+                        "worker_id = NULL, lease_expires = NULL "
+                        "WHERE fingerprint = ?",
+                        (
+                            f"exceeded max_attempts={max_attempts}",
+                            fp,
+                        ),
+                    )
+                    self._conn.execute("COMMIT")
+                    claimed = None
+                else:
+                    expires = now + lease_seconds
+                    self._conn.execute(
+                        "UPDATE jobs SET state = 'leased', worker_id = ?, "
+                        "lease_expires = ?, attempts = ? "
+                        "WHERE fingerprint = ?",
+                        (worker_id, expires, attempts, fp),
+                    )
+                    self._conn.execute("COMMIT")
+                    claimed = LeasedJob(
+                        fingerprint=fp,
+                        job=pickle.loads(payload),
+                        attempts=attempts,
+                        lease_expires=expires,
+                        expired_from=expired_from,
+                    )
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            if expired_from is not None:
+                if tel.enabled:
+                    tel.counter("fleet_lease_expired_total").inc()
+                log_event(
+                    "fleet_lease_expired",
+                    message="expired lease reclaimed"
+                    + ("" if claimed else "; attempts exhausted, job failed"),
+                    logger=logger,
+                    fingerprint=fp[:12],
+                    worker=prior or "",
+                )
+            if claimed is not None or row is None:
+                return claimed
+            # The candidate went to failed; look for another one.
+
+    def complete(
+        self, fingerprint: str, worker_id: str, shipment: Optional[bytes]
+    ) -> bool:
+        """Mark a job done, attaching the worker's telemetry shipment.
+
+        Accepted from any not-yet-done state: replay is deterministic,
+        so a stale worker finishing after its lease was reassigned
+        still produced the right answer -- first completion wins, later
+        ones are ignored (returns False).
+        """
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = 'done', worker_id = ?, "
+                "shipment = ?, error = NULL, lease_expires = NULL "
+                "WHERE fingerprint = ? AND state != 'done'",
+                (worker_id, shipment, fingerprint),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return cursor.rowcount > 0
+
+    def fail(self, fingerprint: str, worker_id: str, error: str) -> str:
+        """Report a worker-side failure; requeue or fail the row.
+
+        Returns the state the row landed in (``pending`` when attempts
+        remain -- counted as ``fleet_requeued_total`` -- else
+        ``failed``).
+        """
+        tel = telemetry.get_registry()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT attempts, max_attempts FROM jobs "
+                "WHERE fingerprint = ? AND state = 'leased'",
+                (fingerprint,),
+            ).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return "unknown"
+            attempts, max_attempts = row
+            state = "pending" if attempts < max_attempts else "failed"
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, error = ?, worker_id = NULL, "
+                "lease_expires = NULL WHERE fingerprint = ?",
+                (state, error, fingerprint),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        if state == "pending" and tel.enabled:
+            tel.counter("fleet_requeued_total").inc()
+        log_event(
+            "fleet_job_failed",
+            message=error,
+            logger=logger,
+            fingerprint=fingerprint[:12],
+            worker=worker_id,
+            requeued=state == "pending",
+        )
+        return state
+
+    # -- introspection ----------------------------------------------------
+
+    def status(self) -> Dict[str, int]:
+        """Row counts per state, total rows, and total enqueue requests.
+
+        ``requests - rows`` is the number of duplicate submissions the
+        queue deduplicated -- the cross-submitter sharing the fleet
+        exists for.
+        """
+        out = {state: 0 for state in _STATES}
+        for state, count in self._conn.execute(
+            "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+        ):
+            out[state] = count
+        row = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(requests), 0) FROM jobs"
+        ).fetchone()
+        out["rows"] = row[0]
+        out["requests"] = row[1]
+        return out
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "WorkQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -95,6 +95,12 @@ from repro.telemetry.spans import (
     tracing_active,
 )
 from repro.telemetry.timeline import chrome_trace, write_chrome_trace
+from repro.telemetry.workers import (
+    WorkerShipment,
+    absorb_shipment,
+    worker_begin,
+    worker_collect,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -120,6 +126,10 @@ __all__ = [
     "drain_span_capture",
     "replay_captured",
     "current_span_id",
+    "WorkerShipment",
+    "worker_begin",
+    "worker_collect",
+    "absorb_shipment",
     "PROFILE_SCHEMA",
     "enable_profiling",
     "disable_profiling",

@@ -1,0 +1,319 @@
+"""The distributed fleet: queue state machine, robustness, crash-resume.
+
+Unit tests drive the :class:`~repro.fleet.queue.WorkQueue` state
+machine directly (lease expiry, attempt budgets, failed-row revival);
+the end-to-end test runs real ``python -m repro.fleet worker``
+subprocesses against a shared cache dir, kills one mid-queue (via
+``--max-jobs``), restarts, and proves the sweep completes with zero
+duplicate replays and results bit-identical to a serial run.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.engine import Engine, SimJob
+from repro.engine.canonical import canonical_metrics
+from repro.fleet import (
+    FleetExecutor,
+    FleetJobError,
+    FleetSchemaError,
+    WorkQueue,
+    default_queue_path,
+)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _jobs(n=3, n_branches=1500, benchmark="gzip"):
+    return [
+        SimJob(benchmark=benchmark, n_branches=n_branches, warmup=100, seed=s)
+        for s in range(1, n + 1)
+    ]
+
+
+def _spawn_worker(queue_path, cache_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.fleet", "worker",
+            "--queue", str(queue_path), "--cache-dir", str(cache_dir),
+            "--poll", "0.05", *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+class TestWorkQueue:
+    def test_enqueue_deduplicates_by_fingerprint(self, tmp_path):
+        job = _jobs(1)[0]
+        with WorkQueue(tmp_path / "q.sqlite") as queue:
+            assert queue.enqueue(job)
+            assert not queue.enqueue(job)  # second submitter: same row
+            status = queue.status()
+            assert status["rows"] == 1
+            assert status["requests"] == 2
+            assert status["pending"] == 1
+
+    def test_lease_complete_cycle(self, tmp_path):
+        job = _jobs(1)[0]
+        with WorkQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(job)
+            lease = queue.lease("w1", lease_seconds=60)
+            assert lease is not None
+            assert lease.fingerprint == job.fingerprint
+            assert lease.job == job
+            assert lease.attempts == 1
+            assert lease.expired_from is None
+            assert queue.lease("w2") is None  # nothing else claimable
+            assert queue.complete(job.fingerprint, "w1", b"shipment")
+            assert queue.states([job.fingerprint])[job.fingerprint][0] == "done"
+            assert queue.take_shipment(job.fingerprint) == b"shipment"
+            # First completion wins; a stale duplicate is ignored.
+            assert not queue.complete(job.fingerprint, "w2", b"other")
+            assert queue.take_shipment(job.fingerprint) == b"shipment"
+
+    def test_expired_lease_is_reclaimed_by_next_worker(self, tmp_path):
+        job = _jobs(1)[0]
+        registry = telemetry.enable()
+        with WorkQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(job)
+            assert queue.lease("dead", lease_seconds=0.01) is not None
+            time.sleep(0.05)
+            lease = queue.lease("alive", lease_seconds=60)
+            assert lease is not None
+            assert lease.expired_from == "dead"
+            assert lease.attempts == 2
+        assert registry.snapshot().counter("fleet_lease_expired_total") == 1
+
+    def test_reap_expired_requeues_with_counter_and_event(self, tmp_path):
+        job = _jobs(1)[0]
+        registry = telemetry.enable()
+        with WorkQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(job)
+            queue.lease("dead", lease_seconds=0.01)
+            time.sleep(0.05)
+            assert queue.reap_expired() == 1
+            state = queue.states([job.fingerprint])[job.fingerprint][0]
+            assert state == "pending"
+        assert registry.snapshot().counter("fleet_lease_expired_total") == 1
+
+    def test_attempts_exhaust_to_failed(self, tmp_path):
+        job = _jobs(1)[0]
+        with WorkQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(job, max_attempts=2)
+            for _ in range(2):
+                assert queue.lease("w", lease_seconds=0.01) is not None
+                time.sleep(0.05)
+            # Third claim would exceed the budget: the row fails instead.
+            assert queue.lease("w") is None
+            state, error, attempts = queue.states([job.fingerprint])[
+                job.fingerprint
+            ]
+            assert state == "failed"
+            assert "max_attempts" in error
+            assert attempts == 2
+
+    def test_fail_requeues_until_budget_then_fails(self, tmp_path):
+        job = _jobs(1)[0]
+        registry = telemetry.enable()
+        with WorkQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(job, max_attempts=2)
+            queue.lease("w")
+            assert queue.fail(job.fingerprint, "w", "boom") == "pending"
+            queue.lease("w")
+            assert queue.fail(job.fingerprint, "w", "boom") == "failed"
+        assert registry.snapshot().counter("fleet_requeued_total") == 1
+
+    def test_enqueue_revives_failed_rows(self, tmp_path):
+        job = _jobs(1)[0]
+        with WorkQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(job, max_attempts=1)
+            queue.lease("w")
+            queue.fail(job.fingerprint, "w", "boom")
+            queue.enqueue(job)  # a fresh submitter is the retry signal
+            state, error, attempts = queue.states([job.fingerprint])[
+                job.fingerprint
+            ]
+            assert (state, error, attempts) == ("pending", None, 0)
+
+    def test_schema_mismatch_refuses_to_open(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        with WorkQueue(path) as queue:
+            queue._conn.execute(
+                "UPDATE meta SET value = '999' WHERE key = 'fleet_schema'"
+            )
+            queue._conn.commit()
+        with pytest.raises(FleetSchemaError, match="fleet_schema=999"):
+            WorkQueue(path)
+
+
+class TestFleetExecutor:
+    def test_requires_cache_dir(self, tmp_path):
+        engine = Engine(executor=FleetExecutor(str(tmp_path / "q.sqlite")))
+        with pytest.raises(ValueError, match="cache_dir"):
+            engine.run(_jobs(1))
+
+    def test_wait_timeout_raises_typed_error(self, tmp_path):
+        executor = FleetExecutor(
+            str(tmp_path / "q.sqlite"), poll=0.02, wait_timeout=0.2
+        )
+        engine = Engine(cache_dir=str(tmp_path / "cache"), executor=executor)
+        with pytest.raises(FleetJobError, match="timed out"):
+            engine.run(_jobs(1))
+
+    def test_exhausted_job_surfaces_fleet_job_error(self, tmp_path):
+        """A job failing max_attempts times raises, never hangs."""
+        queue_path = str(tmp_path / "q.sqlite")
+        job = _jobs(1)[0]
+        stop = threading.Event()
+
+        def crashing_worker():
+            # Leases keep failing until the attempt budget is gone.
+            with WorkQueue(queue_path) as queue:
+                while not stop.is_set():
+                    lease = queue.lease("crashy", lease_seconds=30)
+                    if lease is None:
+                        time.sleep(0.02)
+                        continue
+                    queue.fail(lease.fingerprint, "crashy", "synthetic crash")
+
+        thread = threading.Thread(target=crashing_worker, daemon=True)
+        thread.start()
+        try:
+            executor = FleetExecutor(
+                queue_path, poll=0.02, wait_timeout=30, max_attempts=2
+            )
+            engine = Engine(
+                cache_dir=str(tmp_path / "cache"), executor=executor
+            )
+            with pytest.raises(FleetJobError, match="synthetic crash") as exc:
+                engine.run([job])
+            assert exc.value.fingerprint == job.fingerprint
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+
+
+class TestFleetEndToEnd:
+    def test_crash_resume_no_duplicate_replays_bit_identical(self, tmp_path):
+        """Kill a worker mid-queue, restart, finish: zero duplicates.
+
+        Worker 1 exits after 2 of 4 jobs (the mid-queue "crash");
+        worker 2 drains the rest.  The merged telemetry must show
+        exactly one replay per unique job, and outcomes must be
+        bit-identical to a serial run.
+        """
+        jobs = _jobs(4)
+        # Serial reference first, before telemetry turns on, so its
+        # replays stay out of the merged fleet counters.
+        reference = Engine(max_workers=1).run(jobs)
+
+        cache_dir = str(tmp_path / "cache")
+        queue_path = default_queue_path(cache_dir)
+        registry = telemetry.enable()
+        registry.reset()
+
+        executor = FleetExecutor(queue_path, poll=0.05, wait_timeout=120)
+        engine = Engine(cache_dir=cache_dir, executor=executor)
+        out = {}
+        submitter = threading.Thread(
+            target=lambda: out.setdefault("results", engine.run(jobs))
+        )
+        submitter.start()
+        try:
+            first = _spawn_worker(
+                queue_path, cache_dir, "--max-jobs", "2"
+            )
+            assert first.wait(timeout=90) == 0
+            assert submitter.is_alive(), "2 jobs must still be pending"
+            second = _spawn_worker(
+                queue_path, cache_dir, "--idle-exit", "1"
+            )
+            submitter.join(timeout=90)
+            assert not submitter.is_alive()
+            assert second.wait(timeout=90) == 0
+        finally:
+            if submitter.is_alive():  # pragma: no cover - debug aid
+                raise AssertionError("fleet submitter never completed")
+
+        results = out["results"]
+        for expected, got in zip(reference, results):
+            assert expected.events == got.events
+            assert canonical_metrics(expected.result) == canonical_metrics(
+                got.result
+            )
+
+        snap = registry.snapshot()
+        replays = sum(snap.counter_series("engine_replays_total").values())
+        assert replays == len(jobs), "crash-resume must not replay twice"
+        assert snap.counter("fleet_enqueued_total") == len(jobs)
+        assert snap.counter("fleet_completed_total") == len(jobs)
+        assert snap.counter("fleet_leased_total") == len(jobs)
+        assert snap.counter("engine_jobs_parallel_total") == len(jobs)
+
+        with WorkQueue(queue_path) as queue:
+            status = queue.status()
+        assert status["done"] == len(jobs)
+        assert status["pending"] == status["leased"] == status["failed"] == 0
+
+    def test_fleet_lease_spans_reach_the_submitter_trace(self, tmp_path):
+        """Worker lanes: fleet.lease spans ship home through the queue."""
+        import json
+
+        jobs = _jobs(2)
+        cache_dir = str(tmp_path / "cache")
+        queue_path = default_queue_path(cache_dir)
+        trace_path = tmp_path / "trace.jsonl"
+
+        registry = telemetry.enable()
+        registry.reset()
+        telemetry.set_trace_path(str(trace_path))
+        try:
+            executor = FleetExecutor(queue_path, poll=0.05, wait_timeout=120)
+            engine = Engine(cache_dir=cache_dir, executor=executor)
+            out = {}
+            submitter = threading.Thread(
+                target=lambda: out.setdefault("results", engine.run(jobs))
+            )
+            submitter.start()
+            worker = _spawn_worker(queue_path, cache_dir, "--idle-exit", "1")
+            submitter.join(timeout=90)
+            assert not submitter.is_alive()
+            assert worker.wait(timeout=90) == 0
+        finally:
+            telemetry.close_trace()
+
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line.strip()
+        ]
+        lease_spans = [
+            e
+            for e in events
+            if e.get("event") == "span" and e.get("name") == "fleet.lease"
+        ]
+        assert len(lease_spans) == len(jobs)
+        submitter_pid = os.getpid()
+        for span in lease_spans:
+            assert span["pid"] != submitter_pid, "span must come from a worker"
+            assert span["fields"]["worker"]
+            assert span["parent_id"] is not None, "re-parented under fleet.wait"
